@@ -1,0 +1,44 @@
+// Command benchtables regenerates every table and figure of the
+// paper's evaluation from the simulation and prints them with the
+// paper's published numbers alongside.
+//
+// Usage:
+//
+//	benchtables            # all experiments
+//	benchtables -t T1,E2   # selected experiments
+//	benchtables -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpcvorx/internal/vorxbench"
+)
+
+func main() {
+	sel := flag.String("t", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range vorxbench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := vorxbench.IDs()
+	if *sel != "" {
+		ids = strings.Split(*sel, ",")
+	}
+	for _, id := range ids {
+		tb := vorxbench.ByID(strings.TrimSpace(id))
+		if tb == nil {
+			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		tb.Format(os.Stdout)
+	}
+}

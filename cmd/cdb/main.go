@@ -1,0 +1,84 @@
+// Command cdb demonstrates the VORX communications debugger on the
+// §6.1 scenario: an application that deadlocks with every process
+// waiting for input from another process. It builds the app, lets it
+// wedge, and prints the channel-state report with the waits-for cycle.
+//
+// Usage:
+//
+//	cdb [-procs N] [-filter substring] [-blocked]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcvorx/internal/cdb"
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/objmgr"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "processes in the deadlocked ring")
+	filter := flag.String("filter", "", "only show channels whose name contains this")
+	blockedOnly := flag.Bool("blocked", false, "only show blocked channel ends")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
+	flag.Parse()
+
+	if *procs < 2 {
+		fmt.Fprintln(os.Stderr, "cdb: need at least 2 processes")
+		os.Exit(1)
+	}
+	sys, err := core.Build(core.Config{Nodes: *procs, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdb:", err)
+		os.Exit(1)
+	}
+	// A ring where everyone reads before writing: the classic bug.
+	n := *procs
+	for i := 0; i < n; i++ {
+		i := i
+		m := sys.Node(i)
+		sys.Spawn(m, fmt.Sprintf("ring%d", i), 0, func(sp *kern.Subprocess) {
+			// Channel ring.<i> connects process i (reader) with
+			// process (i+1)%n (writer). Everyone opens both of its
+			// channels, then reads first — nobody ever writes.
+			var inCh, outCh = fmt.Sprintf("ring.%d", i), fmt.Sprintf("ring.%d", (i+n-1)%n)
+			if inCh < outCh {
+				in := m.Chans.Open(sp, inCh, objmgr.OpenAny)
+				out := m.Chans.Open(sp, outCh, objmgr.OpenAny)
+				in.Read(sp)
+				out.Write(sp, 8, nil)
+			} else {
+				out := m.Chans.Open(sp, outCh, objmgr.OpenAny)
+				in := m.Chans.Open(sp, inCh, objmgr.OpenAny)
+				in.Read(sp)
+				out.Write(sp, 8, nil)
+			}
+		})
+	}
+	runErr := sys.Run()
+	fmt.Printf("application stopped: %v\n\n", runErr)
+
+	snap := cdb.Capture(sys)
+	var filters []cdb.Filter
+	if *filter != "" {
+		filters = append(filters, cdb.ByName(*filter))
+	}
+	if *blockedOnly {
+		filters = append(filters, cdb.BlockedOnly())
+	}
+	sel := snap.Select(filters...)
+	if *asJSON {
+		data, err := sel.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdb:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		sel.Format(os.Stdout)
+	}
+	sys.Shutdown()
+}

@@ -1,0 +1,184 @@
+// Command vorx builds a simulated HPC/VORX installation and runs
+// quick demonstrations against it.
+//
+// Usage:
+//
+//	vorx topo -hosts 10 -nodes 70     # describe the interconnect
+//	vorx ping -size 64 -rounds 1000   # channel latency benchmark
+//	vorx download -nodes 70 -tree     # program download timing
+//	vorx alloc                        # allocation-policy walkthrough
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/netif"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/stub"
+	"hpcvorx/internal/topo"
+	"hpcvorx/internal/vorxbench"
+	"hpcvorx/internal/workload"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: vorx <command> [flags]
+
+commands:
+  topo      describe the HPC interconnect for a machine size
+  ping      run the channel latency benchmark (Table 2's workload)
+  download  time program download to the node pool (paper §3.3)
+  alloc     demonstrate the allocation policies (paper §3.1)
+  links     run an all-to-one workload and show the hottest links
+  trace     run a mixed workload and print the message-trace summary
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "topo":
+		cmdTopo(os.Args[2:])
+	case "ping":
+		cmdPing(os.Args[2:])
+	case "download":
+		cmdDownload(os.Args[2:])
+	case "alloc":
+		vorxbench.E9Allocation().Format(os.Stdout)
+	case "links":
+		cmdLinks(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func cmdTopo(args []string) {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	hosts := fs.Int("hosts", 10, "host workstations")
+	nodes := fs.Int("nodes", 70, "processing nodes")
+	fs.Parse(args)
+	total := *hosts + *nodes
+	var (
+		tp  *topo.Topology
+		err error
+	)
+	if total <= topo.PortsPerCluster {
+		tp, err = topo.SingleCluster(total)
+	} else {
+		tp, err = topo.IncompleteHypercube((total+3)/4, 4)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tp)
+	fmt.Printf("figure 1 layout: %d workstations + %d processing nodes on one HPC\n", *hosts, *nodes)
+	fmt.Println()
+	fmt.Println("        workstations                 processing node pool")
+	fmt.Println("   [ws0] [ws1] ... [wsH]        [n0] [n1] [n2] ...... [nN]")
+	fmt.Println("      \\    |    /                  \\   |    |        /")
+	fmt.Println("   +--------------------- HPC interconnect ---------------+")
+	fmt.Printf("   |  %d self-routing 12-port clusters, dim-%d incomplete   \n", tp.Clusters(), tp.Dimension())
+	fmt.Println("   |  hypercube, 160 Mbit/s ports, hardware flow control   ")
+	fmt.Println("   +-------------------------------------------------------+")
+	for c := 0; c < tp.Clusters() && c < 8; c++ {
+		fmt.Printf("cluster %d: neighbors %v, %d endpoint port(s)\n",
+			c, tp.Neighbors(topo.ClusterID(c)), len(tp.EndpointsOn(topo.ClusterID(c))))
+	}
+	if tp.Clusters() > 8 {
+		fmt.Printf("... and %d more clusters\n", tp.Clusters()-8)
+	}
+}
+
+func cmdPing(args []string) {
+	fs := flag.NewFlagSet("ping", flag.ExitOnError)
+	size := fs.Int("size", 4, "message size in bytes")
+	rounds := fs.Int("rounds", 1000, "messages to send")
+	fs.Parse(args)
+	sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	us := workload.ChannelLatency(sys, sys.Node(0), sys.Node(1), *size, *rounds)
+	fmt.Printf("channel latency, %d-byte messages over %d rounds: %.1f µs/msg\n", *size, *rounds, us)
+	fmt.Printf("(paper, Table 2: 303/341/474/997 µs at 4/64/256/1024 bytes)\n")
+}
+
+func cmdLinks(args []string) {
+	fs := flag.NewFlagSet("links", flag.ExitOnError)
+	nodes := fs.Int("nodes", 20, "processing nodes")
+	msgs := fs.Int("msgs", 10, "messages per sender")
+	fs.Parse(args)
+	sys, err := core.Build(core.Config{Nodes: *nodes, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	mk := workload.ManyToOne(sys, 800, *msgs)
+	fmt.Printf("all-to-one workload on %d nodes finished in %v\n", *nodes, mk)
+	fmt.Printf("%-14s %10s %10s\n", "LINK", "MESSAGES", "BUSY")
+	stats := sys.IC.LinkStats()
+	// Show the ten busiest.
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Busy > stats[j].Busy })
+	for i, ls := range stats {
+		if i >= 10 || ls.Messages == 0 {
+			break
+		}
+		fmt.Printf("%-14s %10d %10v\n", ls.Name, ls.Messages, ls.Busy)
+	}
+	hot := sys.IC.HottestLink()
+	fmt.Printf("hottest: %s — the sink's down-link, as expected for many-to-one\n", hot.Name)
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	nodes := fs.Int("nodes", 6, "processing nodes")
+	fs.Parse(args)
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	mt := netif.NewMsgTrace()
+	for _, m := range sys.Machines() {
+		mt.Attach(m.IF)
+	}
+	_ = workload.ManyToOne(sys, 700, 6)
+	res := workload.OpenStorm(sys, 3)
+	fmt.Printf("workload done (storm of %d opens included)\n\n", res.Opens)
+	mt.Summarize(os.Stdout)
+}
+
+func cmdDownload(args []string) {
+	fs := flag.NewFlagSet("download", flag.ExitOnError)
+	nodes := fs.Int("nodes", 70, "processes to start")
+	tree := fs.Bool("tree", false, "use the shared-stub tree download")
+	fs.Parse(args)
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	mode := stub.PerProcess
+	if *tree {
+		mode = stub.SharedTree
+	}
+	app := stub.Launch(sys, sys.Host(0), sys.Nodes(), stub.DefaultImage(), mode, nil)
+	sys.RunFor(sim.Seconds(300))
+	if !app.Ready() {
+		fmt.Fprintln(os.Stderr, "vorx: download did not complete")
+		os.Exit(1)
+	}
+	fmt.Printf("%s download of %d processes: %.2f s (paper: 12 s per-process, 2 s tree, at 70)\n",
+		mode, *nodes, app.StartedAt.Seconds())
+	sys.Shutdown()
+}

@@ -1,0 +1,30 @@
+// bitmap: the §4.1 next-generation-workstation experiment. A
+// processing node streams real-time display frames to a workstation,
+// with all flow control done by the HPC hardware, and reports the
+// delivered bandwidth and refresh rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcvorx/internal/bitmap"
+	"hpcvorx/internal/core"
+)
+
+func main() {
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: 1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bitmap.Stream(sys, sys.Node(0), sys.Host(0), bitmap.Width, bitmap.Height, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d frames of %dx%d monochrome (%d bytes each)\n",
+		res.Frames, bitmap.Width, bitmap.Height, res.FrameBytes)
+	fmt.Printf("delivered bandwidth: %.2f Mbyte/s (paper: 3.2)\n", res.MBytesPerSec)
+	fmt.Printf("refresh rate:        %.1f Hz      (paper: 30)\n", res.FPS)
+	fmt.Println("\nprotocol overhead is only the few statements needed to place the")
+	fmt.Println("incoming data in the frame buffer; the HPC hardware does the rest.")
+}

@@ -1,0 +1,49 @@
+// fft2d: the paper's §4.2 worked example. Computes a distributed
+// two-dimensional FFT of a 64×64 image on 8 processing nodes twice —
+// once redistributing with multicast, once with per-receiver messages
+// — verifies both against the sequential transform, and reports the
+// numbers each processor had to read.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/fft"
+)
+
+func main() {
+	const n, procs = 64, 8
+	rng := rand.New(rand.NewSource(11))
+	img := fft.NewMatrix(n)
+	for i := range img.Data {
+		img.Data[i] = complex(rng.Float64(), 0)
+	}
+
+	// Sequential reference.
+	want := img.Clone()
+	if err := fft.FFT2D(want); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, strat := range []fft.Strategy{fft.Multicast, fft.Scatter} {
+		sys, err := core.Build(core.Config{Nodes: procs, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, got, err := fft.Run2DFFT(sys, img, procs, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d := fft.MaxAbsDiff(got, want); d > 1e-9 {
+			log.Fatalf("%v: result differs from reference by %g", strat, d)
+		}
+		fmt.Printf("%-10s  elapsed %8.1f ms   redistribution reads %6d numbers/processor   (verified)\n",
+			strat, res.Elapsed.Milliseconds(), res.NumbersRead[0])
+	}
+	fmt.Println("\npaper §4.2: with multicast each processor reads the whole image")
+	fmt.Println("(65536 numbers at n=256) but needs only its own columns (256);")
+	fmt.Println("a different message for each receiver carries only what it needs.")
+}

@@ -1,0 +1,74 @@
+// fileserver: the decentralized system services of §3.2 — "Program
+// downloading, file access, and other system services are also spread
+// among the host workstations" — as a distributed file service.
+// Files hash to host servers, replicate by multiple writes (§4.2's
+// few-receiver pattern), and survive a host going down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/dfs"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+)
+
+func main() {
+	sys, err := core.Build(core.Config{Hosts: 4, Nodes: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := dfs.New(sys, sys.Hosts(), 2)
+
+	// Four node processes log results concurrently.
+	for p := 0; p < 4; p++ {
+		p := p
+		m := sys.Node(p)
+		sys.Spawn(m, fmt.Sprintf("worker%d", p), 0, func(sp *kern.Subprocess) {
+			c := svc.NewClient(m)
+			name := fmt.Sprintf("/results/worker%d", p)
+			if err := c.Create(sp, name); err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				line := fmt.Sprintf("sample %d from node%d\n", i, p)
+				if err := c.Append(sp, name, []byte(line)); err != nil {
+					log.Fatal(err)
+				}
+				sp.SleepFor(sim.Milliseconds(3))
+			}
+		})
+	}
+	// A reader on another node collects everything, then survives a
+	// host failure.
+	sys.Spawn(sys.Node(3), "collector", 0, func(sp *kern.Subprocess) {
+		c := svc.NewClient(sys.Node(3))
+		sp.SleepFor(sim.Milliseconds(60))
+		total := 0
+		for p := 0; p < 4; p++ {
+			data, err := c.Read(sp, fmt.Sprintf("/results/worker%d", p))
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += len(data)
+		}
+		fmt.Printf("collected %d bytes from 4 result files at t=%.1f ms\n",
+			total, sp.Now().Microseconds()/1000)
+
+		victim := svc.ReplicaHosts("/results/worker0")[0]
+		svc.SetDown(victim, true)
+		fmt.Printf("host%d (primary for worker0's file) goes down...\n", victim)
+		data, err := c.Read(sp, "/results/worker0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("failover read from the replica still returns %d bytes\n", len(data))
+	})
+
+	sys.RunFor(sim.Seconds(10))
+	sys.Shutdown()
+	fmt.Printf("\noperations served per host: %v\n", svc.Ops)
+	fmt.Println("files spread over all workstations — no single-host bottleneck (§3.2)")
+}

@@ -1,0 +1,48 @@
+// spice: the §4.1 parallel circuit-simulation workload. Solves a
+// resistor-grid linear system by distributed Jacobi iteration on 4
+// processing nodes, once over VORX channels and once over user-defined
+// communications objects, and shows why the SPICE group bypassed the
+// channel protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/spice"
+)
+
+func main() {
+	const gridN, procs, iters = 32, 4, 60
+	grid := spice.NewGrid(gridN)
+	want := grid.SolveSequential(iters)
+
+	var elapsed [2]float64
+	for i, tr := range []spice.Transport{spice.Channels, spice.UDO} {
+		sys, err := core.Build(core.Config{Nodes: procs, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, x, err := spice.Solve(sys, grid, procs, iters, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for j := range x {
+			if d := math.Abs(x[j] - want[j]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-9 {
+			log.Fatalf("%v: diverges from sequential solve by %g", tr, worst)
+		}
+		elapsed[i] = res.Elapsed.Milliseconds()
+		fmt.Printf("%-9s  %4d unknowns, %d sweeps on %d nodes: %7.1f ms, residual %.2e, %d messages\n",
+			tr, grid.Unknowns(), iters, procs, elapsed[i], res.Residual, res.Messages)
+	}
+	fmt.Printf("\nuser-defined objects beat channels by %.2fx on this fine-grain exchange\n",
+		elapsed[0]/elapsed[1])
+	fmt.Println("(paper: SPICE obtained 60 µs software latencies with direct hardware access)")
+}

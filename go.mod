@@ -1,0 +1,3 @@
+module hpcvorx
+
+go 1.22

@@ -1,0 +1,660 @@
+// Package channels implements VORX channels: named, low-latency,
+// flow-controlled message-passing connections between processes
+// (paper §4).
+//
+// Channels are set up with a single Open call (rendezvous by name
+// through the object manager) and used with Read and Write. The
+// kernel protocol is stop-and-wait: a Write sends the data and blocks
+// the writing subprocess until the receiving kernel acknowledges it —
+// which is also the flow control, since a second message cannot be
+// sent until the first is processed. If the receiving kernel is out
+// of side buffers (rare: "the kernel has many side buffers"), it asks
+// the sender to retransmit when space frees.
+//
+// Writes larger than the hardware's 1060-byte limit are fragmented by
+// the kernel and acknowledged as a unit. Specialized operations the
+// paper mentions are provided too: multiplexed read (block until data
+// arrives on any of several channels) and server name reuse (via
+// objmgr's Serve/Connect modes).
+//
+// The calibrated cost constants reproduce Table 2: 303/341/474/997 µs
+// per message at 4/64/256/1024 bytes.
+package channels
+
+import (
+	"fmt"
+
+	"hpcvorx/internal/hpc"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/netif"
+	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// Wire-format constants.
+const (
+	// HeaderBytes is the kernel protocol header carried by every
+	// fragment on the wire.
+	HeaderBytes = 32
+	// AckBytes is the wire size of the software acknowledgement.
+	AckBytes = 48
+	// MaxFragment is the data payload carried per hardware message.
+	MaxFragment = 1024
+	// DefaultSideBuffers is the per-node side-buffer pool size.
+	DefaultSideBuffers = 64
+)
+
+// Msg is an application-level message received from a channel.
+type Msg struct {
+	Size    int
+	Payload any
+}
+
+// Service is the per-node channel machinery: the kernel's channel
+// table, side-buffer pool, and protocol handlers.
+type Service struct {
+	f     *netif.IF
+	mgr   *objmgr.Manager
+	chans map[uint64]*Channel
+	// preopen stashes fragments that arrived before the local end's
+	// Open finished registering (the opener's reply can beat the
+	// subprocess getting scheduled).
+	preopen map[uint64][]dataFrag
+
+	sideBufFree int
+	// starved lists (channel, message) pairs whose peer was told
+	// "busy" and must be resumed when a side buffer frees, in
+	// arrival order.
+	starved []starveRec
+
+	// Stats.
+	Written      int
+	Delivered    int
+	Busies       int
+	Retransmits  int
+	BytesWritten int64
+}
+
+// wire message bodies
+type dataFrag struct {
+	ch         uint64
+	seq        int // per-channel message sequence number
+	size       int // payload bytes in this fragment
+	total      int // total write size
+	last       bool
+	payload    any // carried on the last fragment
+	retransmit bool
+}
+
+type ackMsg struct {
+	ch  uint64
+	seq int
+}
+type busyMsg struct {
+	ch  uint64
+	seq int
+}
+type resumeMsg struct {
+	ch  uint64
+	seq int
+}
+type closeMsg struct{ ch uint64 }
+
+// starveRec is one busy-discarded message awaiting a resume.
+type starveRec struct {
+	ch  *Channel
+	seq int
+}
+
+// NewService attaches the channel service to a node's network
+// interface.
+func NewService(f *netif.IF, mgr *objmgr.Manager) *Service {
+	s := &Service{f: f, mgr: mgr, chans: make(map[uint64]*Channel),
+		preopen: make(map[uint64][]dataFrag), sideBufFree: DefaultSideBuffers}
+	costs := f.Node().Costs()
+	f.Register("chan", netif.Service{
+		Cost: func(m *hpc.Message) sim.Duration {
+			frag := m.Payload.(netif.Envelope).Body.(dataFrag)
+			return costs.ChanRecvProto + costs.KernelCopyTime(frag.size)
+		},
+		Handle: s.handleData,
+	})
+	f.Register("chan.ack", netif.Service{
+		Cost:   func(*hpc.Message) sim.Duration { return costs.ChanAckProto },
+		Handle: s.handleAck,
+	})
+	f.Register("chan.busy", netif.Service{
+		Cost:   func(*hpc.Message) sim.Duration { return costs.ChanAckProto },
+		Handle: s.handleBusy,
+	})
+	f.Register("chan.resume", netif.Service{
+		Cost: func(m *hpc.Message) sim.Duration {
+			rm := m.Payload.(netif.Envelope).Body.(resumeMsg)
+			if ch := s.chans[rm.ch]; ch != nil {
+				if om := ch.pendingBySeq(rm.seq); om != nil {
+					return costs.ChanSendProto + costs.KernelCopyTime(om.size)
+				}
+			}
+			return costs.ChanAckProto
+		},
+		Handle: s.handleResume,
+	})
+	f.Register("chan.close", netif.Service{
+		Cost:   func(*hpc.Message) sim.Duration { return costs.ChanAckProto },
+		Handle: s.handleClose,
+	})
+	return s
+}
+
+// Interface returns the node interface the service runs on.
+func (s *Service) Interface() *netif.IF { return s.f }
+
+// SetSideBuffers resizes the side-buffer pool (for ablation studies;
+// the paper's kernel had "many"). Call before traffic flows.
+func (s *Service) SetSideBuffers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.sideBufFree = n
+}
+
+// SideBuffersFree returns the current side-buffer pool headroom.
+func (s *Service) SideBuffersFree() int { return s.sideBufFree }
+
+// Channel is one end of a VORX channel.
+type Channel struct {
+	svc  *Service
+	id   uint64
+	name string
+	peer topo.EndpointID
+
+	// reader side
+	ready      []Msg       // side-buffered complete messages
+	assembling map[int]int // bytes received per in-flight message seq
+	reader     *blockedReader
+	mux        *Mux
+
+	// writer side. window is the number of un-acknowledged writes
+	// allowed in flight: 1 is the classic stop-and-wait; larger
+	// values are the kernel-level sliding window §4.1 suggests the
+	// system should consider ("we should consider the use of a
+	// sliding-window protocol for channels").
+	window     int
+	pending    []*outMsg // un-acknowledged writes, oldest first
+	writerWake func()
+	sendSeq    int
+
+	// receiver-side sequencing: messages are accepted strictly in
+	// order; anything ahead of recvSeq is busy-discarded and
+	// retransmitted after its predecessors, which restores order.
+	recvSeq int
+
+	closedLocal  bool
+	closedRemote bool
+
+	// cdb-visible counters
+	sent, received int
+}
+
+type blockedReader struct {
+	wake func()
+	msg  Msg
+	ok   bool
+}
+
+type outMsg struct {
+	seq     int
+	size    int
+	payload any
+}
+
+// SetWindow sets the channel end's write window (>=1). Call before
+// writing; both ends keep their own windows independently.
+func (ch *Channel) SetWindow(k int) {
+	if k < 1 {
+		k = 1
+	}
+	ch.window = k
+}
+
+// Window returns the write window.
+func (ch *Channel) Window() int { return ch.window }
+
+// Open rendezvouses on name and returns the local channel end. It
+// blocks sp until the peer's open arrives (paper: "two processes
+// rendezvous on a channel by specifying its name in an open call").
+func (s *Service) Open(sp *kern.Subprocess, name string, mode objmgr.Mode) *Channel {
+	p := s.mgr.Open(sp, s.f, name, mode)
+	ch := &Channel{svc: s, id: p.Chan, name: name, peer: p.Peer, window: 1}
+	s.chans[p.Chan] = ch
+	if frags := s.preopen[p.Chan]; len(frags) > 0 {
+		delete(s.preopen, p.Chan)
+		for _, frag := range frags {
+			s.deliverFrag(ch, frag)
+		}
+	}
+	return ch
+}
+
+// Name returns the channel's rendezvous name.
+func (ch *Channel) Name() string { return ch.name }
+
+// ID returns the channel id shared by both ends.
+func (ch *Channel) ID() uint64 { return ch.id }
+
+// Peer returns the endpoint of the other end.
+func (ch *Channel) Peer() topo.EndpointID { return ch.peer }
+
+// Write sends size bytes (with payload attached for the application)
+// and blocks sp until the protocol window has room again. With the
+// default window of 1 this is the classic stop-and-wait: the write
+// returns only when the receiving kernel has acknowledged. A larger
+// window (SetWindow) keeps several writes in flight — the kernel-level
+// sliding window §4.1 suggests considering. Either way the
+// still-pending user buffers are what retransmission re-reads, so no
+// kernel safety copy is ever needed.
+func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
+	if ch.closedLocal {
+		return fmt.Errorf("channels: write on closed channel %q", ch.name)
+	}
+	if ch.closedRemote {
+		return fmt.Errorf("channels: peer closed channel %q", ch.name)
+	}
+	if size <= 0 {
+		return fmt.Errorf("channels: write of %d bytes", size)
+	}
+	costs := ch.svc.f.Node().Costs()
+	sp.Syscall(costs.ChanSendProto + costs.KernelCopyTime(size))
+	om := &outMsg{seq: ch.sendSeq, size: size, payload: payload}
+	ch.sendSeq++
+	ch.pending = append(ch.pending, om)
+	ch.sendFragments(sp, om, false)
+	for len(ch.pending) >= ch.window && !ch.closedRemote {
+		ch.writerWake = sp.Block(kern.WaitOutput, fmt.Sprintf("chan-write %s", ch.name))
+		sp.BlockNow()
+		sp.System(costs.SchedulerWake)
+	}
+	if ch.closedRemote {
+		return fmt.Errorf("channels: peer closed channel %q", ch.name)
+	}
+	ch.sent++
+	ch.svc.Written++
+	ch.svc.BytesWritten += int64(size)
+	return nil
+}
+
+// sendFragments pushes the write onto the wire in hardware-sized
+// fragments. The subprocess blocks per fragment only on hardware
+// output-section backpressure.
+func (ch *Channel) sendFragments(sp *kern.Subprocess, om *outMsg, retrans bool) {
+	for off := 0; off < om.size; off += MaxFragment {
+		n := om.size - off
+		if n > MaxFragment {
+			n = MaxFragment
+		}
+		last := off+n >= om.size
+		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: retrans}
+		if last {
+			frag.payload = om.payload
+		}
+		if err := ch.svc.f.Send(sp, ch.peer, "chan", n+HeaderBytes, frag); err != nil {
+			panic(fmt.Sprintf("channels: fragment send: %v", err))
+		}
+	}
+}
+
+// pendingBySeq finds an un-acknowledged write.
+func (ch *Channel) pendingBySeq(seq int) *outMsg {
+	for _, om := range ch.pending {
+		if om.seq == seq {
+			return om
+		}
+	}
+	return nil
+}
+
+// Read blocks sp until a message arrives and returns it. ok is false
+// when the channel is closed and drained.
+func (ch *Channel) Read(sp *kern.Subprocess) (Msg, bool) {
+	costs := ch.svc.f.Node().Costs()
+	sp.Syscall(0)
+	if len(ch.ready) > 0 {
+		m := ch.takeReady()
+		// Side-buffered data costs an extra kernel-to-user copy.
+		sp.System(costs.KernelCopyTime(m.Size))
+		ch.received++
+		return m, true
+	}
+	if ch.closedRemote || ch.closedLocal {
+		return Msg{}, false
+	}
+	br := &blockedReader{}
+	br.wake = sp.Block(kern.WaitInput, fmt.Sprintf("chan-read %s", ch.name))
+	ch.reader = br
+	ch.svc.resumeIfStarved(ch)
+	sp.BlockNow()
+	sp.System(costs.SchedulerWake)
+	if !br.ok {
+		return Msg{}, false
+	}
+	ch.received++
+	return br.msg, true
+}
+
+// takeReady pops the oldest side-buffered message and releases its
+// side buffer, resuming a starved sender if one is waiting.
+func (ch *Channel) takeReady() Msg {
+	m := ch.ready[0]
+	ch.ready = ch.ready[1:]
+	ch.svc.releaseSideBuf()
+	return m
+}
+
+func (s *Service) releaseSideBuf() {
+	s.sideBufFree++
+	if len(s.starved) > 0 {
+		r := s.starved[0]
+		s.starved = s.starved[1:]
+		s.f.SendAsync(r.ch.peer, "chan.resume", AckBytes, resumeMsg{ch: r.ch.id, seq: r.seq}, nil)
+	}
+}
+
+// resumeIfStarved sends the retransmission request for ch's oldest
+// busy-discarded message, if any: a newly blocked reader is as good as
+// a free side buffer, since arriving data takes the fast path straight
+// to it.
+func (s *Service) resumeIfStarved(ch *Channel) {
+	for i, r := range s.starved {
+		if r.ch == ch {
+			s.starved = append(s.starved[:i], s.starved[i+1:]...)
+			s.f.SendAsync(ch.peer, "chan.resume", AckBytes, resumeMsg{ch: ch.id, seq: r.seq}, nil)
+			return
+		}
+	}
+}
+
+// handleData runs at interrupt level on the receiving node.
+func (s *Service) handleData(m *hpc.Message) {
+	frag := m.Payload.(netif.Envelope).Body.(dataFrag)
+	ch := s.chans[frag.ch]
+	if ch == nil {
+		// The local Open has not finished registering; hold the
+		// fragment and replay it when it does.
+		s.preopen[frag.ch] = append(s.preopen[frag.ch], frag)
+		return
+	}
+	s.deliverFrag(ch, frag)
+}
+
+// deliverFrag is the interrupt-level delivery logic for one fragment.
+func (s *Service) deliverFrag(ch *Channel, frag dataFrag) {
+	if frag.retransmit {
+		s.Retransmits++
+	}
+	if !frag.last {
+		if ch.assembling == nil {
+			ch.assembling = map[int]int{}
+		}
+		ch.assembling[frag.seq] += frag.size
+		return
+	}
+	delete(ch.assembling, frag.seq)
+	msg := Msg{Size: frag.total, Payload: frag.payload}
+
+	if frag.seq < ch.recvSeq {
+		// Duplicate of an already-accepted message: re-acknowledge.
+		s.ack(ch, frag.seq)
+		return
+	}
+	if frag.seq > ch.recvSeq {
+		// Ahead of the stream (a predecessor was busy-discarded):
+		// discard and schedule a retransmission behind it, which
+		// restores order.
+		s.busy(ch, frag.seq)
+		return
+	}
+
+	if ch.reader != nil {
+		// Fast path: the ISR copies straight to the waiting reader,
+		// then the kernel acknowledges.
+		r := ch.reader
+		ch.reader = nil
+		r.msg, r.ok = msg, true
+		r.wake()
+		s.Delivered++
+		ch.recvSeq++
+		s.ack(ch, frag.seq)
+		return
+	}
+	if ch.mux != nil {
+		mx := ch.mux
+		mx.deliver(ch, msg)
+		s.Delivered++
+		ch.recvSeq++
+		s.ack(ch, frag.seq)
+		return
+	}
+	// No reader: side-buffer the message.
+	if s.sideBufFree > 0 {
+		s.sideBufFree--
+		ch.ready = append(ch.ready, msg)
+		s.Delivered++
+		ch.recvSeq++
+		s.ack(ch, frag.seq)
+		return
+	}
+	// Out of side buffers: ask the sender to retransmit later.
+	s.busy(ch, frag.seq)
+}
+
+func (s *Service) ack(ch *Channel, seq int) {
+	s.f.SendAsync(ch.peer, "chan.ack", AckBytes, ackMsg{ch: ch.id, seq: seq}, nil)
+}
+
+func (s *Service) busy(ch *Channel, seq int) {
+	// Suppress duplicate starve records for the same message (a
+	// retransmission can race a second busy).
+	for _, r := range s.starved {
+		if r.ch == ch && r.seq == seq {
+			return
+		}
+	}
+	s.Busies++
+	s.starved = append(s.starved, starveRec{ch: ch, seq: seq})
+	s.f.SendAsync(ch.peer, "chan.busy", AckBytes, busyMsg{ch: ch.id, seq: seq}, nil)
+}
+
+// handleAck runs at interrupt level on the writer's node.
+func (s *Service) handleAck(m *hpc.Message) {
+	a := m.Payload.(netif.Envelope).Body.(ackMsg)
+	ch := s.chans[a.ch]
+	if ch == nil {
+		return
+	}
+	for i, om := range ch.pending {
+		if om.seq == a.seq {
+			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
+			break
+		}
+	}
+	if ch.writerWake != nil && len(ch.pending) < ch.window {
+		w := ch.writerWake
+		ch.writerWake = nil
+		w()
+	}
+}
+
+// handleBusy marks the pending write as awaiting a resume; the writer
+// stays blocked (stop-and-wait already holds it).
+func (s *Service) handleBusy(m *hpc.Message) {
+	// Nothing to do beyond bookkeeping: the data was discarded by the
+	// receiver; the write will be retransmitted on resume.
+	_ = m
+}
+
+// handleResume retransmits the pending write from the kernel: the ISR
+// cost already covered re-copying the user buffer (the process is
+// still blocked, so the buffer is intact — no safety copy needed).
+func (s *Service) handleResume(m *hpc.Message) {
+	rm := m.Payload.(netif.Envelope).Body.(resumeMsg)
+	ch := s.chans[rm.ch]
+	if ch == nil {
+		return
+	}
+	pw := ch.pendingBySeq(rm.seq)
+	if pw == nil {
+		return
+	}
+	// Asynchronous kernel-level retransmission of each fragment.
+	for off := 0; off < pw.size; off += MaxFragment {
+		n := pw.size - off
+		if n > MaxFragment {
+			n = MaxFragment
+		}
+		last := off+n >= pw.size
+		frag := dataFrag{ch: ch.id, seq: pw.seq, size: n, total: pw.size, last: last, retransmit: true}
+		if last {
+			frag.payload = pw.payload
+		}
+		s.f.SendAsync(ch.peer, "chan", n+HeaderBytes, frag, nil)
+	}
+}
+
+// handleClose marks the remote end closed and fails any blocked
+// reader or writer.
+func (s *Service) handleClose(m *hpc.Message) {
+	cm := m.Payload.(netif.Envelope).Body.(closeMsg)
+	ch := s.chans[cm.ch]
+	if ch == nil {
+		return
+	}
+	ch.closedRemote = true
+	if ch.reader != nil {
+		r := ch.reader
+		ch.reader = nil
+		r.ok = false
+		r.wake()
+	}
+	if ch.writerWake != nil {
+		w := ch.writerWake
+		ch.writerWake = nil
+		w()
+	}
+}
+
+// Close tears the channel down and notifies the peer. Reads of
+// already side-buffered data still succeed at the peer.
+func (ch *Channel) Close(sp *kern.Subprocess) {
+	if ch.closedLocal {
+		return
+	}
+	costs := ch.svc.f.Node().Costs()
+	sp.Syscall(costs.ChanAckProto)
+	ch.closedLocal = true
+	ch.svc.f.SendAsync(ch.peer, "chan.close", AckBytes, closeMsg{ch: ch.id}, nil)
+}
+
+// Closed reports whether either end has closed the channel.
+func (ch *Channel) Closed() bool { return ch.closedLocal || ch.closedRemote }
+
+// Mux is a multiplexed read: "a process blocks until data arrives
+// from one of several channels" (paper §4).
+type Mux struct {
+	waiting bool
+	wake    func()
+	from    *Channel
+	msg     Msg
+}
+
+// MuxRead blocks sp until any of the given channels has data, then
+// returns the channel and message. Side-buffered data is consumed
+// first (in argument order).
+func MuxRead(sp *kern.Subprocess, chans ...*Channel) (*Channel, Msg, bool) {
+	if len(chans) == 0 {
+		return nil, Msg{}, false
+	}
+	svc := chans[0].svc
+	costs := svc.f.Node().Costs()
+	sp.Syscall(0)
+	for _, ch := range chans {
+		if len(ch.ready) > 0 {
+			m := ch.takeReady()
+			sp.System(costs.KernelCopyTime(m.Size))
+			ch.received++
+			return ch, m, true
+		}
+	}
+	allClosed := true
+	for _, ch := range chans {
+		if !ch.closedRemote && !ch.closedLocal {
+			allClosed = false
+		}
+	}
+	if allClosed {
+		return nil, Msg{}, false
+	}
+	mx := &Mux{waiting: true}
+	mx.wake = sp.Block(kern.WaitInput, "chan-mux")
+	for _, ch := range chans {
+		ch.mux = mx
+		svc.resumeIfStarved(ch)
+	}
+	sp.BlockNow()
+	for _, ch := range chans {
+		ch.mux = nil
+	}
+	sp.System(costs.SchedulerWake)
+	if mx.from == nil {
+		return nil, Msg{}, false
+	}
+	mx.from.received++
+	return mx.from, mx.msg, true
+}
+
+// deliver hands an arriving message to the mux waiter.
+func (mx *Mux) deliver(ch *Channel, m Msg) {
+	if !mx.waiting {
+		return
+	}
+	mx.waiting = false
+	mx.from = ch
+	mx.msg = m
+	mx.wake()
+}
+
+// EndState is the per-channel-end state cdb reports (paper §6.1): the
+// channel name, which endpoints it connects, message counts in each
+// direction, and whether the application is blocked on it.
+type EndState struct {
+	Name          string
+	ID            uint64
+	Local, Peer   topo.EndpointID
+	Sent          int
+	Received      int
+	Buffered      int // side-buffered messages awaiting a read
+	ReaderBlocked bool
+	WriterBlocked bool
+	Closed        bool
+}
+
+// Snapshot returns the state of every channel end on this node, for
+// the communications debugger.
+func (s *Service) Snapshot() []EndState {
+	var out []EndState
+	for _, ch := range s.chans {
+		out = append(out, EndState{
+			Name:          ch.name,
+			ID:            ch.id,
+			Local:         s.f.Endpoint(),
+			Peer:          ch.peer,
+			Sent:          ch.sent,
+			Received:      ch.received,
+			Buffered:      len(ch.ready),
+			ReaderBlocked: ch.reader != nil || ch.mux != nil,
+			WriterBlocked: ch.writerWake != nil,
+			Closed:        ch.Closed(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package channels_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/sim"
+)
+
+// Property: for any message size, count, sender window, and receiver
+// side-buffer pool, every message arrives exactly once, in order, with
+// the right size — even when the busy/retransmit path fires.
+func TestChannelExactlyOnceInOrderProperty(t *testing.T) {
+	f := func(sizeRaw uint16, countRaw, windowRaw, bufsRaw, readerLagRaw uint8) bool {
+		size := int(sizeRaw%3000) + 1
+		count := int(countRaw%20) + 1
+		window := int(windowRaw%6) + 1
+		bufs := int(bufsRaw%8) + 1
+		lag := sim.Duration(readerLagRaw%4) * sim.Milliseconds(1)
+
+		sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+		if err != nil {
+			return false
+		}
+		sys.Node(1).Chans.SetSideBuffers(bufs)
+		var got []int
+		sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+			ch := sys.Node(0).Chans.Open(sp, "prop", objmgr.OpenAny)
+			ch.SetWindow(window)
+			for i := 0; i < count; i++ {
+				if err := ch.Write(sp, size, i); err != nil {
+					t.Logf("write: %v", err)
+					return
+				}
+			}
+		})
+		sys.Spawn(sys.Node(1), "r", 0, func(sp *kern.Subprocess) {
+			ch := sys.Node(1).Chans.Open(sp, "prop", objmgr.OpenAny)
+			for i := 0; i < count; i++ {
+				if lag > 0 {
+					sp.SleepFor(lag)
+				}
+				m, ok := ch.Read(sp)
+				if !ok {
+					return
+				}
+				if m.Size != size {
+					t.Logf("size %d != %d", m.Size, size)
+					return
+				}
+				got = append(got, m.Payload.(int))
+			}
+		})
+		if err := sys.Run(); err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if len(got) != count {
+			t.Logf("got %d of %d (size=%d window=%d bufs=%d lag=%v)", len(got), count, size, window, bufs, lag)
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				t.Logf("order broken at %d: %v", i, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: side buffers are never leaked — after any traffic pattern
+// fully drains, the pool is back to its configured size.
+func TestSideBufferConservationProperty(t *testing.T) {
+	f := func(countRaw, bufsRaw, chansRaw uint8) bool {
+		count := int(countRaw%12) + 1
+		bufs := int(bufsRaw%6) + 2
+		nch := int(chansRaw%3) + 1
+
+		sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+		if err != nil {
+			return false
+		}
+		sys.Node(1).Chans.SetSideBuffers(bufs)
+		for c := 0; c < nch; c++ {
+			c := c
+			sys.Spawn(sys.Node(0), fmt.Sprintf("w%d", c), 0, func(sp *kern.Subprocess) {
+				ch := sys.Node(0).Chans.Open(sp, fmt.Sprintf("sb%d", c), objmgr.OpenAny)
+				for i := 0; i < count; i++ {
+					if err := ch.Write(sp, 64, nil); err != nil {
+						return
+					}
+				}
+			})
+			sys.Spawn(sys.Node(1), fmt.Sprintf("r%d", c), 0, func(sp *kern.Subprocess) {
+				ch := sys.Node(1).Chans.Open(sp, fmt.Sprintf("sb%d", c), objmgr.OpenAny)
+				sp.SleepFor(sim.Milliseconds(3)) // let writes buffer first
+				for i := 0; i < count; i++ {
+					if _, ok := ch.Read(sp); !ok {
+						return
+					}
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return sys.Node(1).Chans.SideBuffersFree() == bufs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interconnect message conservation — everything the
+// channel layer sends is eventually delivered by the hardware (the
+// HPC cannot lose messages), across arbitrary small workloads.
+func TestFabricConservationProperty(t *testing.T) {
+	f := func(countRaw uint8, sizesRaw uint16) bool {
+		count := int(countRaw%10) + 1
+		size := int(sizesRaw%1500) + 1
+		sys, err := core.Build(core.Config{Nodes: 3, Seed: 1})
+		if err != nil {
+			return false
+		}
+		for w := 0; w < 2; w++ {
+			w := w
+			sys.Spawn(sys.Node(w), "w", 0, func(sp *kern.Subprocess) {
+				ch := sys.Node(w).Chans.Open(sp, fmt.Sprintf("fc%d", w), objmgr.OpenAny)
+				for i := 0; i < count; i++ {
+					if err := ch.Write(sp, size, nil); err != nil {
+						return
+					}
+				}
+			})
+			sys.Spawn(sys.Node(2), fmt.Sprintf("r%d", w), 0, func(sp *kern.Subprocess) {
+				ch := sys.Node(2).Chans.Open(sp, fmt.Sprintf("fc%d", w), objmgr.OpenAny)
+				for i := 0; i < count; i++ {
+					if _, ok := ch.Read(sp); !ok {
+						return
+					}
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		st := sys.IC.Stats()
+		return st.MessagesSent == st.MessagesDelivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

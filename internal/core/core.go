@@ -1,0 +1,195 @@
+// Package core assembles the full HPC/VORX local area multicomputer:
+// a pool of processing nodes and a set of host workstations, all
+// attached to an HPC interconnect, each running a VORX kernel with its
+// network interface, channel service, and object manager (Figure 1 of
+// the paper).
+//
+// A System is built from a Config and then driven entirely in virtual
+// time. Applications are spawned as subprocesses on nodes or hosts and
+// may span any combination of them — the defining property of a local
+// area multicomputer.
+package core
+
+import (
+	"fmt"
+
+	"hpcvorx/internal/channels"
+	"hpcvorx/internal/hpc"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/netif"
+	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// Config describes the machine to build.
+type Config struct {
+	// Hosts is the number of workstations (the paper's installation
+	// had ten SUN 3s).
+	Hosts int
+	// Nodes is the number of processing nodes (the paper's pool had
+	// 70).
+	Nodes int
+	// NodesPerCluster controls hypercube construction when the
+	// machine exceeds one cluster; 0 means 4, the paper's flagship
+	// arrangement (8 cube ports + 4 node ports).
+	NodesPerCluster int
+	// CentralizedManager places a single object manager on the first
+	// host (the Meglos arrangement) instead of replicating managers
+	// on every processing node (the VORX arrangement).
+	CentralizedManager bool
+	// Seed feeds the simulation's deterministic random source.
+	Seed int64
+	// Costs overrides the calibrated cost model (nil = defaults).
+	Costs *m68k.Costs
+}
+
+// Machine is one attached computer: a host workstation or a processing
+// node, with its kernel and communications stack.
+type Machine struct {
+	Kern  *kern.Node
+	IF    *netif.IF
+	Chans *channels.Service
+	EP    topo.EndpointID
+	Host  bool
+	Index int // index within its class (host i or node i)
+}
+
+// Name returns the machine's name ("host3" or "node17").
+func (m *Machine) Name() string { return m.Kern.Name() }
+
+// System is a running HPC/VORX installation.
+type System struct {
+	K     *sim.Kernel
+	Costs *m68k.Costs
+	Topo  *topo.Topology
+	IC    *hpc.Interconnect
+	Mgr   *objmgr.Manager
+
+	hosts []*Machine
+	nodes []*Machine
+	byEP  map[topo.EndpointID]*Machine
+}
+
+// Build constructs the system.
+func Build(cfg Config) (*System, error) {
+	if cfg.Nodes < 0 || cfg.Hosts < 0 || cfg.Nodes+cfg.Hosts == 0 {
+		return nil, fmt.Errorf("core: need at least one machine (hosts=%d nodes=%d)", cfg.Hosts, cfg.Nodes)
+	}
+	costs := cfg.Costs
+	if costs == nil {
+		costs = m68k.DefaultCosts()
+	}
+	total := cfg.Hosts + cfg.Nodes
+	var (
+		tp  *topo.Topology
+		err error
+	)
+	if total <= topo.PortsPerCluster {
+		tp, err = topo.SingleCluster(total)
+	} else {
+		per := cfg.NodesPerCluster
+		if per == 0 {
+			per = 4
+		}
+		clusters := (total + per - 1) / per
+		tp, err = topo.IncompleteHypercube(clusters, per)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	k := sim.NewKernel(cfg.Seed)
+	ic := hpc.New(k, costs, tp)
+	sys := &System{K: k, Costs: costs, Topo: tp, IC: ic, byEP: make(map[topo.EndpointID]*Machine)}
+
+	// Host workstations (SUN 3s) copy faster than the 68020 nodes;
+	// everything else is inherited from the calibrated model.
+	hostCosts := *costs
+	hostCosts.Copy = costs.HostCopy
+	hostCosts.KernelCopy = costs.HostCopy
+
+	build := func(name string, ep topo.EndpointID, host bool, idx int) *Machine {
+		c := costs
+		if host {
+			c = &hostCosts
+		}
+		kn := kern.NewNode(k, c, name)
+		m := &Machine{Kern: kn, IF: netif.Attach(kn, ic, ep), EP: ep, Host: host, Index: idx}
+		sys.byEP[ep] = m
+		return m
+	}
+	ep := topo.EndpointID(0)
+	for i := 0; i < cfg.Hosts; i++ {
+		sys.hosts = append(sys.hosts, build(fmt.Sprintf("host%d", i), ep, true, i))
+		ep++
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		sys.nodes = append(sys.nodes, build(fmt.Sprintf("node%d", i), ep, false, i))
+		ep++
+	}
+
+	// Object manager placement: Meglos centralizes all resource
+	// management on a single host; VORX replicates the communications
+	// object manager onto every processing node.
+	var mgrEPs []topo.EndpointID
+	if cfg.CentralizedManager || cfg.Nodes == 0 {
+		first := sys.hosts
+		if len(first) == 0 {
+			first = sys.nodes
+		}
+		mgrEPs = []topo.EndpointID{first[0].EP}
+	} else {
+		for _, n := range sys.nodes {
+			mgrEPs = append(mgrEPs, n.EP)
+		}
+	}
+	var ifs []*netif.IF
+	for _, m := range sys.Machines() {
+		ifs = append(ifs, m.IF)
+	}
+	sys.Mgr = objmgr.New(ifs, mgrEPs)
+	for _, m := range sys.Machines() {
+		m.Chans = channels.NewService(m.IF, sys.Mgr)
+	}
+	return sys, nil
+}
+
+// Hosts returns the host workstations.
+func (s *System) Hosts() []*Machine { return s.hosts }
+
+// Nodes returns the processing nodes.
+func (s *System) Nodes() []*Machine { return s.nodes }
+
+// Host returns host i.
+func (s *System) Host(i int) *Machine { return s.hosts[i] }
+
+// Node returns processing node i.
+func (s *System) Node(i int) *Machine { return s.nodes[i] }
+
+// Machines returns every machine, hosts first.
+func (s *System) Machines() []*Machine {
+	out := make([]*Machine, 0, len(s.hosts)+len(s.nodes))
+	out = append(out, s.hosts...)
+	out = append(out, s.nodes...)
+	return out
+}
+
+// ByEndpoint returns the machine at an endpoint, or nil.
+func (s *System) ByEndpoint(ep topo.EndpointID) *Machine { return s.byEP[ep] }
+
+// Spawn starts a subprocess on machine m at priority prio.
+func (s *System) Spawn(m *Machine, name string, prio int, body func(sp *kern.Subprocess)) *kern.Subprocess {
+	return m.Kern.SpawnSubprocess(name, prio, body)
+}
+
+// Run drives the simulation until quiescence and returns a
+// *sim.DeadlockError if application processes are stuck.
+func (s *System) Run() error { return s.K.Run() }
+
+// RunFor advances virtual time by d.
+func (s *System) RunFor(d sim.Duration) { s.K.RunFor(d) }
+
+// Shutdown kills all remaining simulated processes.
+func (s *System) Shutdown() { s.K.Shutdown() }

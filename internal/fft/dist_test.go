@@ -1,0 +1,115 @@
+package fft_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/fft"
+)
+
+func randomMatrix(n int, seed int64) *fft.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := fft.NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.Float64(), rng.Float64())
+	}
+	return m
+}
+
+func runDist(t *testing.T, n, procs int, strat fft.Strategy) (*fft.Result, *fft.Matrix, *fft.Matrix) {
+	t.Helper()
+	sys, err := core.Build(core.Config{Nodes: procs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomMatrix(n, 42)
+	want := in.Clone()
+	if err := fft.FFT2D(want); err != nil {
+		t.Fatal(err)
+	}
+	res, got, err := fft.Run2DFFT(sys, in, procs, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, got, want
+}
+
+func TestDistributedScatterMatchesReference(t *testing.T) {
+	res, got, want := runDist(t, 32, 4, fft.Scatter)
+	if d := fft.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("scatter result differs from reference by %g", d)
+	}
+	// Scatter: each processor reads only the numbers it needs:
+	// (P-1) blocks of (n/P)^2 = 3*64 = 192 numbers.
+	for p, nr := range res.NumbersRead {
+		if nr != 192 {
+			t.Errorf("proc %d read %d numbers, want 192", p, nr)
+		}
+	}
+}
+
+func TestDistributedMulticastMatchesReference(t *testing.T) {
+	res, got, want := runDist(t, 32, 4, fft.Multicast)
+	if d := fft.MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("multicast result differs from reference by %g", d)
+	}
+	// Multicast: each processor reads (P-1) whole row blocks:
+	// 3 * (32/4)*32 = 768 numbers — 4x the scatter traffic here, and
+	// the factor grows with P (it is P(n/P)n / ((P-1)(n/P)^2) ≈ P).
+	for p, nr := range res.NumbersRead {
+		if nr != 768 {
+			t.Errorf("proc %d read %d numbers, want 768", p, nr)
+		}
+	}
+}
+
+func TestMulticastReadsGrowWithProcsScatterShrinks(t *testing.T) {
+	// §4.2: "as the number of processors is increased, the number of
+	// messages received by each processor grows and each process
+	// spends more and more time reading data that it is not concerned
+	// with."
+	mc4, _, _ := runDist(t, 32, 4, fft.Multicast)
+	mc8, _, _ := runDist(t, 32, 8, fft.Multicast)
+	sc4, _, _ := runDist(t, 32, 4, fft.Scatter)
+	sc8, _, _ := runDist(t, 32, 8, fft.Scatter)
+	if mc8.NumbersRead[0] <= mc4.NumbersRead[0] {
+		t.Fatalf("multicast reads should grow with P: %d -> %d",
+			mc4.NumbersRead[0], mc8.NumbersRead[0])
+	}
+	if sc8.NumbersRead[0] >= sc4.NumbersRead[0] {
+		t.Fatalf("scatter reads should shrink with P: %d -> %d",
+			sc4.NumbersRead[0], sc8.NumbersRead[0])
+	}
+}
+
+func TestScatterFasterThanMulticast(t *testing.T) {
+	// At a realistic data size the redistribution cost difference
+	// dominates: every multicast receiver's kernel reads the whole
+	// n×n/P row block from all P-1 senders. The compute phases are
+	// identical, so comparing total elapsed compares communication.
+	mc, _, _ := runDist(t, 128, 8, fft.Multicast)
+	sc, _, _ := runDist(t, 128, 8, fft.Scatter)
+	if sc.Elapsed >= mc.Elapsed {
+		t.Fatalf("scatter (%v) should beat multicast (%v)", sc.Elapsed, mc.Elapsed)
+	}
+	commMC := mc.Elapsed - mc.IdealCompute
+	commSC := sc.Elapsed - sc.IdealCompute
+	if float64(commSC) > 0.7*float64(commMC) {
+		t.Fatalf("scatter communication %v not clearly below multicast %v", commSC, commMC)
+	}
+}
+
+func TestRun2DFFTValidation(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomMatrix(8, 1)
+	if _, _, err := fft.Run2DFFT(sys, in, 3, fft.Scatter); err == nil {
+		t.Fatal("3 procs do not divide n=8; expected error")
+	}
+	if _, _, err := fft.Run2DFFT(sys, in, 4, fft.Scatter); err == nil {
+		t.Fatal("system has 3 nodes; 4 procs should fail")
+	}
+}

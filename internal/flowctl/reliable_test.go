@@ -1,0 +1,86 @@
+package flowctl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hpcvorx/internal/flowctl"
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/snet"
+)
+
+func TestReliableDeliversDespiteCorruption(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 3)
+	nw.SetCorruptEvery(4) // every 4th transfer arrives damaged
+	rel := flowctl.NewReliable(k, nw)
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 20
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+	})
+	k.RunFor(sim.Seconds(5))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d", len(got), msgs)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: got[%d]=%d", i, v)
+		}
+	}
+	if rel.Retransmissions+rel.Timeouts == 0 {
+		t.Fatal("corruption injected but nothing was retransmitted")
+	}
+	if rel.Delivered != msgs {
+		t.Fatalf("exactly-once violated: delivered=%d", rel.Delivered)
+	}
+}
+
+func TestReliableNoCorruptionNoRetransmit(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	delivered := 0
+	rel.SetDeliver(0, func(m snet.Message) { delivered++ })
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if n := rel.Send(p, nw.Station(1), 0, 200, i); n != 1 {
+				t.Errorf("msg %d used %d transfers on a clean network", i, n)
+			}
+		}
+	})
+	k.RunFor(sim.Seconds(2))
+	k.Shutdown()
+	if delivered != 10 || rel.Retransmissions != 0 {
+		t.Fatalf("delivered=%d retrans=%d", delivered, rel.Retransmissions)
+	}
+}
+
+func TestReliableMultipleSenders(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 4)
+	nw.SetCorruptEvery(7)
+	rel := flowctl.NewReliable(k, nw)
+	perSrc := map[int]int{}
+	rel.SetDeliver(0, func(m snet.Message) { perSrc[m.Src]++ })
+	for s := 1; s <= 3; s++ {
+		s := s
+		k.Spawn(fmt.Sprintf("s%d", s), func(p *sim.Proc) {
+			for i := 0; i < 8; i++ {
+				rel.Send(p, nw.Station(s), 0, 300, i)
+			}
+		})
+	}
+	k.RunFor(sim.Seconds(5))
+	k.Shutdown()
+	for s := 1; s <= 3; s++ {
+		if perSrc[s] != 8 {
+			t.Fatalf("src %d delivered %d, want 8 (%v)", s, perSrc[s], perSrc)
+		}
+	}
+}

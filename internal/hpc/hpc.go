@@ -1,0 +1,455 @@
+// Package hpc models the HPC interconnect: self-routing twelve-port
+// star clusters joined per a topo.Topology, with flow control done
+// entirely in hardware.
+//
+// The modeled guarantees are exactly the ones the paper claims (§2):
+//
+//   - Messages are limited to a hardware maximum (1060 bytes).
+//   - Every link refuses to accept a message until it has room to
+//     buffer the entire message, so the interconnect never drops data.
+//   - A fair scheduling mechanism (FIFO arbitration per link) ensures
+//     every sender is eventually serviced.
+//   - A sending processor whose output section is full receives an
+//     interrupt when room becomes available.
+//
+// Transmission is store-and-forward with a one-message buffer at the
+// downstream end of every link, which is how the original hardware's
+// "room for an entire message" rule behaves.
+package hpc
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// Message is a hardware message in flight. Payload is opaque to the
+// interconnect; Size drives all timing.
+type Message struct {
+	Src, Dst topo.EndpointID
+	Size     int
+	Payload  any
+	Tag      string // optional label for tracing and debugging
+}
+
+// Delivery hands an arrived message to an endpoint. The endpoint owns
+// the input section while it drains the message and must call Release
+// exactly once to free it; until then the interconnect cannot deliver
+// the next message to this endpoint.
+type Delivery struct {
+	Msg     *Message
+	release func()
+}
+
+// Release frees the endpoint's input section. Calling it more than
+// once is a no-op.
+func (d *Delivery) Release() {
+	if d.release != nil {
+		d.release()
+		d.release = nil
+	}
+}
+
+// DeliverFunc is an endpoint's input interrupt handler.
+type DeliverFunc func(d *Delivery)
+
+// Stats aggregates interconnect activity.
+type Stats struct {
+	MessagesDelivered int
+	BytesDelivered    int64
+	MessagesSent      int
+	MulticastsSent    int
+}
+
+// Interconnect simulates one HPC fabric.
+type Interconnect struct {
+	k     *sim.Kernel
+	costs *m68k.Costs
+	topo  *topo.Topology
+
+	outSec  []*buffer // per-endpoint output section
+	inSec   []*buffer // per-endpoint input section
+	upLink  []*link   // endpoint -> cluster
+	dnLink  []*link   // cluster -> endpoint
+	cubeLnk map[[2]topo.ClusterID]*link
+
+	deliver []DeliverFunc
+	onRoom  [][]func() // room-available interrupt handlers per endpoint
+
+	stats Stats
+}
+
+// New builds an interconnect over the given topology.
+func New(k *sim.Kernel, costs *m68k.Costs, t *topo.Topology) *Interconnect {
+	n := t.Endpoints()
+	ic := &Interconnect{
+		k:       k,
+		costs:   costs,
+		topo:    t,
+		outSec:  make([]*buffer, n),
+		inSec:   make([]*buffer, n),
+		upLink:  make([]*link, n),
+		dnLink:  make([]*link, n),
+		cubeLnk: make(map[[2]topo.ClusterID]*link),
+		deliver: make([]DeliverFunc, n),
+		onRoom:  make([][]func(), n),
+	}
+	for e := 0; e < n; e++ {
+		ic.outSec[e] = &buffer{name: fmt.Sprintf("out%d", e)}
+		ic.inSec[e] = &buffer{name: fmt.Sprintf("in%d", e)}
+		ic.upLink[e] = &link{ic: ic, name: fmt.Sprintf("up%d", e), into: &buffer{name: fmt.Sprintf("clbuf-up%d", e)}}
+		ic.dnLink[e] = &link{ic: ic, name: fmt.Sprintf("dn%d", e), into: ic.inSec[e]}
+	}
+	for c := 0; c < t.Clusters(); c++ {
+		for _, nb := range t.Neighbors(topo.ClusterID(c)) {
+			key := [2]topo.ClusterID{topo.ClusterID(c), nb}
+			ic.cubeLnk[key] = &link{
+				ic:   ic,
+				name: fmt.Sprintf("cube%d-%d", c, nb),
+				into: &buffer{name: fmt.Sprintf("clbuf%d-%d", c, nb)},
+			}
+		}
+	}
+	return ic
+}
+
+// Topology returns the interconnect's topology.
+func (ic *Interconnect) Topology() *topo.Topology { return ic.topo }
+
+// Costs returns the cost model in use.
+func (ic *Interconnect) Costs() *m68k.Costs { return ic.costs }
+
+// Stats returns a snapshot of interconnect counters.
+func (ic *Interconnect) Stats() Stats { return ic.stats }
+
+// LinkStat reports one directed link's activity.
+type LinkStat struct {
+	Name     string
+	Busy     sim.Duration
+	Messages int
+}
+
+// LinkStats returns activity for every directed link, sorted by name —
+// the hot-link diagnostic view for tuning application placement.
+func (ic *Interconnect) LinkStats() []LinkStat {
+	var links []*link
+	for e := range ic.upLink {
+		links = append(links, ic.upLink[e], ic.dnLink[e])
+	}
+	for _, l := range ic.cubeLnk {
+		links = append(links, l)
+	}
+	out := make([]LinkStat, 0, len(links))
+	for _, l := range links {
+		out = append(out, LinkStat{Name: l.name, Busy: l.busyTime, Messages: l.count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetEndpointCable sets the fiber length, in kilometers, of endpoint
+// e's connection to its cluster (both directions). Workstations "may
+// be geographically distributed within the area of a large building"
+// — over a kilometer of fiber adds light-propagation delay to every
+// message.
+func (ic *Interconnect) SetEndpointCable(e topo.EndpointID, km float64) {
+	d := sim.Duration(km * float64(ic.costs.FiberPerKm))
+	ic.upLink[e].propagation = d
+	ic.dnLink[e].propagation = d
+}
+
+// HottestLink returns the link with the most busy time.
+func (ic *Interconnect) HottestLink() LinkStat {
+	var best LinkStat
+	for _, ls := range ic.LinkStats() {
+		if ls.Busy > best.Busy {
+			best = ls
+		}
+	}
+	return best
+}
+
+// SetDeliver installs the input interrupt handler for endpoint e.
+func (ic *Interconnect) SetDeliver(e topo.EndpointID, fn DeliverFunc) {
+	ic.deliver[e] = fn
+}
+
+// OutputFree reports whether endpoint e's output section has room.
+func (ic *Interconnect) OutputFree(e topo.EndpointID) bool {
+	return ic.outSec[e].occupant == nil
+}
+
+// NotifyRoom registers a one-shot callback invoked when endpoint e's
+// output section next becomes free (the "room available" interrupt).
+// If it is already free the callback fires at the current instant.
+func (ic *Interconnect) NotifyRoom(e topo.EndpointID, fn func()) {
+	if ic.OutputFree(e) {
+		ic.k.After(0, fn)
+		return
+	}
+	ic.onRoom[e] = append(ic.onRoom[e], fn)
+}
+
+// TrySend starts transmission of msg if the sender's output section is
+// free, reporting whether the message was accepted. onDelivered (may
+// be nil) fires when the message lands in the destination's input
+// section. A message over the hardware limit is rejected with an
+// error regardless of room.
+func (ic *Interconnect) TrySend(msg *Message, onDelivered func(*Message)) (bool, error) {
+	if msg.Size > ic.costs.MaxMessage {
+		return false, fmt.Errorf("hpc: message of %d bytes exceeds hardware limit %d", msg.Size, ic.costs.MaxMessage)
+	}
+	if msg.Size < 0 {
+		return false, fmt.Errorf("hpc: negative message size")
+	}
+	out := ic.outSec[msg.Src]
+	if out.occupant != nil {
+		return false, nil
+	}
+	t := &transfer{msg: msg, links: ic.routeLinks(msg.Src, msg.Dst), onDelivered: onDelivered}
+	out.occupant = t
+	t.holder = out
+	ic.stats.MessagesSent++
+	t.links[0].request(t)
+	return true, nil
+}
+
+// Send blocks proc p until the output section accepts msg (the room-
+// available interrupt), then queues it. onDelivered may be nil.
+func (ic *Interconnect) Send(p *sim.Proc, msg *Message, onDelivered func(*Message)) error {
+	for {
+		ok, err := ic.TrySend(msg, onDelivered)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		wake := p.Park("hpc-output " + fmt.Sprint(msg.Src))
+		ic.NotifyRoom(msg.Src, wake)
+		p.Block()
+	}
+}
+
+// SendMulticast transmits one message to several destinations. The
+// hardware replicates the message at the source cluster: the sender's
+// output section and up-link are charged once, and a separate
+// flow-controlled transfer then carries a copy to each destination.
+// onDelivered (may be nil) fires once per destination.
+func (ic *Interconnect) SendMulticast(p *sim.Proc, src topo.EndpointID, dsts []topo.EndpointID, size int, payload any, tag string, onDelivered func(dst topo.EndpointID, m *Message)) error {
+	if size > ic.costs.MaxMessage {
+		return fmt.Errorf("hpc: multicast of %d bytes exceeds hardware limit %d", size, ic.costs.MaxMessage)
+	}
+	if len(dsts) == 0 {
+		return fmt.Errorf("hpc: multicast with no destinations")
+	}
+	out := ic.outSec[src]
+	for out.occupant != nil {
+		wake := p.Park("hpc-output-mc")
+		ic.NotifyRoom(src, wake)
+		p.Block()
+	}
+	ic.stats.MulticastsSent++
+	// Phase 1: one trip up to the source cluster's replication buffer.
+	up := ic.upLink[src]
+	mt := &mcastRoot{ic: ic, src: src, size: size, payload: payload, tag: tag, dsts: dsts, onDelivered: onDelivered}
+	t := &transfer{
+		msg:   &Message{Src: src, Dst: src, Size: size, Payload: payload, Tag: tag + "/mc-up"},
+		links: []*link{up},
+		onArrivedAtBuffer: func(tr *transfer) {
+			// Message is in the cluster replication buffer; fan out.
+			mt.fanOut(tr)
+		},
+	}
+	out.occupant = t
+	t.holder = out
+	up.request(t)
+	return nil
+}
+
+// mcastRoot tracks a multicast's replication state.
+type mcastRoot struct {
+	ic          *Interconnect
+	src         topo.EndpointID
+	size        int
+	payload     any
+	tag         string
+	dsts        []topo.EndpointID
+	onDelivered func(topo.EndpointID, *Message)
+	pending     int
+	rootBuf     *buffer
+	rootLink    *link
+}
+
+// fanOut launches one transfer per destination from the replication
+// buffer. The buffer frees when every branch has left it.
+func (m *mcastRoot) fanOut(root *transfer) {
+	m.rootBuf = root.holder
+	m.rootLink = root.links[len(root.links)-1]
+	m.pending = len(m.dsts)
+	srcCluster := m.ic.topo.AttachmentOf(m.src).Cluster
+	for _, d := range m.dsts {
+		d := d
+		msg := &Message{Src: m.src, Dst: d, Size: m.size, Payload: m.payload, Tag: m.tag}
+		links := ic_linksFromCluster(m.ic, srcCluster, d)
+		bt := &transfer{msg: msg, onDelivered: func(mm *Message) {
+			if m.onDelivered != nil {
+				m.onDelivered(d, mm)
+			}
+		}}
+		bt.links = links
+		bt.holder = nil // replication buffer ownership handled by root
+		bt.onLeftFirstBuffer = func() {
+			m.pending--
+			if m.pending == 0 {
+				m.rootBuf.occupant = nil
+				m.rootLink.tryStart()
+			}
+		}
+		links[0].request(bt)
+	}
+}
+
+// ic_linksFromCluster returns the link path from cluster c to endpoint
+// dst (inter-cluster hops plus the final down-link).
+func ic_linksFromCluster(ic *Interconnect, c topo.ClusterID, dst topo.EndpointID) []*link {
+	route := ic.topo.ClusterRoute(c, ic.topo.AttachmentOf(dst).Cluster)
+	var links []*link
+	for i := 1; i < len(route); i++ {
+		links = append(links, ic.cubeLnk[[2]topo.ClusterID{route[i-1], route[i]}])
+	}
+	links = append(links, ic.dnLink[dst])
+	return links
+}
+
+// routeLinks returns the full link path from src's output section to
+// dst's input section.
+func (ic *Interconnect) routeLinks(src, dst topo.EndpointID) []*link {
+	links := []*link{ic.upLink[src]}
+	links = append(links, ic_linksFromCluster(ic, ic.topo.AttachmentOf(src).Cluster, dst)...)
+	return links
+}
+
+// buffer is a one-message hardware buffer.
+type buffer struct {
+	name     string
+	occupant *transfer
+}
+
+// transfer is one message making its way along a link path.
+type transfer struct {
+	msg    *Message
+	links  []*link
+	pos    int     // next link index to traverse
+	holder *buffer // buffer currently holding the message (nil for multicast branches still in the shared buffer)
+
+	onDelivered       func(*Message)
+	onArrivedAtBuffer func(*transfer) // fires instead of delivery (multicast root)
+	onLeftFirstBuffer func()          // multicast branch bookkeeping
+}
+
+// link is a directed link with FIFO (fair) arbitration into a
+// one-message downstream buffer.
+type link struct {
+	ic          *Interconnect
+	name        string
+	into        *buffer
+	busy        bool
+	waitQ       []*transfer
+	propagation sim.Duration // fiber length delay
+
+	busyTime  sim.Duration
+	lastStart sim.Time
+	count     int
+}
+
+// request queues t for transmission over l.
+func (l *link) request(t *transfer) {
+	l.waitQ = append(l.waitQ, t)
+	l.tryStart()
+}
+
+// tryStart begins the next queued transmission if the link is idle and
+// the downstream buffer is free.
+func (l *link) tryStart() {
+	if l.busy || l.into.occupant != nil || len(l.waitQ) == 0 {
+		return
+	}
+	t := l.waitQ[0]
+	l.waitQ = l.waitQ[1:]
+	l.busy = true
+	l.into.occupant = t // reserve: "room for an entire message"
+	l.lastStart = l.ic.k.Now()
+	dur := l.ic.costs.HopFixed + l.ic.costs.WireTime(t.msg.Size) + l.propagation
+	l.ic.k.After(dur, func() { l.complete(t) })
+}
+
+// complete finishes a transmission: the message now sits in l's
+// downstream buffer and has fully left its previous buffer.
+func (l *link) complete(t *transfer) {
+	l.busy = false
+	l.busyTime += l.ic.k.Now().Sub(l.lastStart)
+	l.count++
+
+	// Free the upstream buffer the message just vacated.
+	if t.holder != nil {
+		prev := t.holder
+		prev.occupant = nil
+		l.ic.freed(prev, t.pos, t)
+	} else if t.onLeftFirstBuffer != nil {
+		t.onLeftFirstBuffer()
+		t.onLeftFirstBuffer = nil
+	}
+	t.holder = l.into
+	t.pos++
+
+	if t.onArrivedAtBuffer != nil && t.pos == len(t.links) {
+		t.onArrivedAtBuffer(t)
+		return
+	}
+	if t.pos < len(t.links) {
+		t.links[t.pos].request(t)
+		return
+	}
+	// Arrived in the destination input section.
+	l.ic.stats.MessagesDelivered++
+	l.ic.stats.BytesDelivered += int64(t.msg.Size)
+	d := &Delivery{Msg: t.msg, release: func() {
+		l.into.occupant = nil
+		l.tryStart()
+	}}
+	if fn := l.ic.deliver[t.msg.Dst]; fn != nil {
+		fn(d)
+	} else {
+		// No handler installed: drain immediately so the fabric
+		// cannot wedge (the VORX kernel reads messages immediately).
+		d.Release()
+	}
+	if t.onDelivered != nil {
+		t.onDelivered(t.msg)
+	}
+}
+
+// freed handles the bookkeeping after a buffer is vacated: restart the
+// link feeding it, or fire the sender's room-available interrupt when
+// the freed buffer was an output section.
+func (ic *Interconnect) freed(b *buffer, posOfVacatingLink int, t *transfer) {
+	// Output section freed: room-available interrupt.
+	for e := range ic.outSec {
+		if ic.outSec[e] == b {
+			handlers := ic.onRoom[e]
+			ic.onRoom[e] = nil
+			for _, fn := range handlers {
+				fn()
+			}
+			return
+		}
+	}
+	// Cluster buffer freed: the link feeding it may proceed.
+	if posOfVacatingLink >= 1 {
+		t.links[posOfVacatingLink-1].tryStart()
+	}
+}

@@ -1,0 +1,375 @@
+// Package kern is the VORX node kernel: it runs subprocesses —
+// independently scheduled threads of execution sharing one address
+// space, each with its own stack — under a preemptive priority
+// scheduler on one simulated 68020 CPU (paper §5).
+//
+// The kernel charges the calibrated m68k costs for context switches
+// (80 µs full register save/restore), interrupt entry, semaphore
+// operations, and system calls, and partitions every microsecond of
+// CPU time into the categories the software oscilloscope displays
+// (paper §6.2): user, system, and idle — with idle subdivided into
+// waiting-for-input, waiting-for-output, mixed, and other.
+package kern
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+)
+
+// Category classifies how a node spends its time.
+type Category int
+
+// Time categories, exactly the partition of paper §6.2.
+const (
+	CatUser Category = iota
+	CatSystem
+	CatIdleInput  // all blocked threads wait for input
+	CatIdleOutput // all blocked threads wait for output
+	CatIdleMixed  // some wait for input, others for output
+	CatIdleOther  // waiting on something else (timer, device, ...)
+	numCategories
+)
+
+// String returns the oscilloscope label for the category.
+func (c Category) String() string {
+	switch c {
+	case CatUser:
+		return "user"
+	case CatSystem:
+		return "system"
+	case CatIdleInput:
+		return "idle-input"
+	case CatIdleOutput:
+		return "idle-output"
+	case CatIdleMixed:
+		return "idle-mixed"
+	case CatIdleOther:
+		return "idle-other"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	return []Category{CatUser, CatSystem, CatIdleInput, CatIdleOutput, CatIdleMixed, CatIdleOther}
+}
+
+// Interval is one accounted span of node time.
+type Interval struct {
+	Start, End sim.Time
+	Cat        Category
+}
+
+// TraceSink receives accounting intervals as they close (used by the
+// software oscilloscope).
+type TraceSink func(node *Node, iv Interval)
+
+// WaitKind tags what a blocked subprocess is waiting for.
+type WaitKind int
+
+// Wait kinds feeding the idle-time partition.
+const (
+	WaitNone WaitKind = iota
+	WaitInput
+	WaitOutput
+	WaitOther
+)
+
+// Node is one processing node: a CPU, its scheduler, and its clock
+// accounting. Create with NewNode, then spawn subprocesses.
+type Node struct {
+	k     *sim.Kernel
+	costs *m68k.Costs
+	name  string
+
+	ready     taskHeap
+	current   *task
+	curTimer  sim.Timer
+	curStart  sim.Time
+	suspended *task // preempted by interrupt, resumes without a switch
+	intrQ     []intrWork
+	inIntr    bool
+	lastSP    *Subprocess // last subprocess that held the CPU
+	seq       uint64
+
+	subs []*Subprocess
+
+	acctCat   Category
+	acctSince sim.Time
+	acctBusy  bool // accounting an active (non-idle) span
+	totals    [numCategories]sim.Duration
+	sink      TraceSink
+
+	// CtxSwitches counts full context switches performed.
+	CtxSwitches int
+	// Interrupts counts interrupt work items serviced.
+	Interrupts int
+}
+
+type intrWork struct {
+	d  sim.Duration
+	fn func()
+}
+
+// NewNode creates a node with its own CPU.
+func NewNode(k *sim.Kernel, costs *m68k.Costs, name string) *Node {
+	return &Node{k: k, costs: costs, name: name, acctCat: CatIdleOther}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Kernel returns the simulation kernel.
+func (n *Node) Kernel() *sim.Kernel { return n.k }
+
+// Costs returns the node's cost model.
+func (n *Node) Costs() *m68k.Costs { return n.costs }
+
+// Subprocesses returns all subprocesses ever spawned on this node.
+func (n *Node) Subprocesses() []*Subprocess { return n.subs }
+
+// SetTraceSink installs the oscilloscope trace consumer.
+func (n *Node) SetTraceSink(s TraceSink) { n.sink = s }
+
+// Totals returns the accumulated time per category, closing the
+// in-progress interval as of now.
+func (n *Node) Totals() map[Category]sim.Duration {
+	n.account(n.idleCategory())
+	out := make(map[Category]sim.Duration, numCategories)
+	for c := Category(0); c < numCategories; c++ {
+		out[c] = n.totals[c]
+	}
+	return out
+}
+
+// account closes the current accounting interval and switches the node
+// to category cat.
+func (n *Node) account(cat Category) {
+	now := n.k.Now()
+	if now > n.acctSince {
+		n.totals[n.acctCat] += now.Sub(n.acctSince)
+		if n.sink != nil {
+			n.sink(n, Interval{Start: n.acctSince, End: now, Cat: n.acctCat})
+		}
+	}
+	n.acctCat = cat
+	n.acctSince = now
+}
+
+// idleCategory derives the idle flavor from what the node's blocked
+// subprocesses are waiting for.
+func (n *Node) idleCategory() Category {
+	in, out := false, false
+	for _, sp := range n.subs {
+		switch sp.waitKind {
+		case WaitInput:
+			in = true
+		case WaitOutput:
+			out = true
+		}
+	}
+	switch {
+	case in && out:
+		return CatIdleMixed
+	case in:
+		return CatIdleInput
+	case out:
+		return CatIdleOutput
+	default:
+		return CatIdleOther
+	}
+}
+
+// task is one CPU request: a sequence of (category, duration) segments
+// consumed under preemption.
+type task struct {
+	sp   *Subprocess
+	segs []seg
+	wake func()
+	prio int
+	seq  uint64
+	idx  int // heap index
+}
+
+type seg struct {
+	cat Category
+	rem sim.Duration
+}
+
+type taskHeap []*task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio // higher priority first
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*task)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	t := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return t
+}
+
+// exec runs the calling subprocess's CPU request to completion,
+// blocking the subprocess until the CPU has delivered every segment.
+func (n *Node) exec(sp *Subprocess, segs []seg) {
+	t := &task{sp: sp, segs: segs, prio: sp.prio, seq: n.seq}
+	n.seq++
+	t.wake = sp.proc.Park("cpu " + n.name)
+	heap.Push(&n.ready, t)
+	n.preemptIfNeeded(t)
+	n.schedule()
+	sp.proc.Block()
+}
+
+// preemptIfNeeded preempts the running task when t outranks it. The
+// context switch back is charged when the victim is re-dispatched.
+func (n *Node) preemptIfNeeded(t *task) {
+	if n.current != nil && !n.inIntr && t.prio > n.current.prio {
+		cur := n.stopCurrent()
+		heap.Push(&n.ready, cur)
+	}
+}
+
+// refreshIdle re-derives the idle category after a subprocess's wait
+// kind changed while the CPU was idle.
+func (n *Node) refreshIdle() {
+	if n.current == nil && !n.inIntr && n.suspended == nil {
+		n.account(n.idleCategory())
+	}
+}
+
+// stopCurrent halts the running slice, accounting the elapsed portion,
+// and returns the (partially consumed) task. current becomes nil.
+func (n *Node) stopCurrent() *task {
+	cur := n.current
+	n.curTimer.Stop()
+	elapsed := n.k.Now().Sub(n.curStart)
+	cur.sp.chargeCPU(cur.segs[0].cat, elapsed)
+	cur.segs[0].rem -= elapsed
+	if cur.segs[0].rem <= 0 {
+		cur.segs = cur.segs[1:]
+	}
+	n.current = nil
+	n.account(n.idleCategory())
+	return cur
+}
+
+// schedule dispatches the best ready task if the CPU is free.
+func (n *Node) schedule() {
+	if n.current != nil || n.inIntr || n.suspended != nil {
+		return
+	}
+	if n.ready.Len() == 0 {
+		return
+	}
+	t := heap.Pop(&n.ready).(*task)
+	if t.sp != n.lastSP {
+		// Full context switch: save/restore all registers (80 µs).
+		t.segs = append([]seg{{CatSystem, n.costs.ContextSwitch}}, t.segs...)
+		n.CtxSwitches++
+	}
+	n.lastSP = t.sp
+	n.current = t
+	n.runSegment()
+}
+
+// runSegment starts (or resumes) the head segment of the current task.
+func (n *Node) runSegment() {
+	t := n.current
+	for len(t.segs) > 0 && t.segs[0].rem <= 0 {
+		t.segs = t.segs[1:]
+	}
+	if len(t.segs) == 0 {
+		n.finish(t)
+		return
+	}
+	n.account(t.segs[0].cat)
+	n.curStart = n.k.Now()
+	seg0 := t.segs[0]
+	n.curTimer = n.k.After(seg0.rem, func() {
+		t.sp.chargeCPU(seg0.cat, seg0.rem)
+		t.segs[0].rem = 0
+		t.segs = t.segs[1:]
+		if len(t.segs) > 0 {
+			n.runSegment()
+			return
+		}
+		n.finish(t)
+	})
+}
+
+// finish completes the current task: wake its subprocess and run the
+// next one.
+func (n *Node) finish(t *task) {
+	n.current = nil
+	n.account(n.idleCategory())
+	t.wake()
+	n.schedule()
+}
+
+// Interrupt delivers an interrupt to the node: the CPU preempts
+// whatever is running, spends the interrupt entry cost plus extra in
+// system mode, then calls fn (still at interrupt level — fn must not
+// block) and resumes the preempted work without a full context switch.
+// Safe to call from any simulation context.
+func (n *Node) Interrupt(extra sim.Duration, fn func()) {
+	n.intrQ = append(n.intrQ, intrWork{d: n.costs.InterruptEntry + extra, fn: fn})
+	n.Interrupts++
+	if n.inIntr {
+		return // will be drained by the active interrupt loop
+	}
+	if n.current != nil {
+		n.suspended = n.stopCurrent()
+	}
+	n.inIntr = true
+	n.account(CatSystem)
+	n.runInterrupts()
+}
+
+// runInterrupts drains the interrupt queue, then resumes the suspended
+// task (no context-switch charge: the interrupt overhead covers the
+// partial save/restore) unless a higher-priority task became ready.
+func (n *Node) runInterrupts() {
+	if len(n.intrQ) == 0 {
+		n.inIntr = false
+		n.account(n.idleCategory())
+		if n.suspended != nil {
+			s := n.suspended
+			n.suspended = nil
+			if n.ready.Len() > 0 && n.ready[0].prio > s.prio {
+				heap.Push(&n.ready, s)
+			} else {
+				n.current = s
+				n.runSegment()
+				return
+			}
+		}
+		n.schedule()
+		return
+	}
+	w := n.intrQ[0]
+	n.intrQ = n.intrQ[1:]
+	n.k.After(w.d, func() {
+		if w.fn != nil {
+			w.fn()
+		}
+		n.runInterrupts()
+	})
+}

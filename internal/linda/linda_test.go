@@ -1,0 +1,279 @@
+package linda_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/linda"
+	"hpcvorx/internal/sim"
+)
+
+func newSpace(t *testing.T, nodes int) (*core.System, *linda.Space) {
+	t.Helper()
+	sys, err := core.Build(core.Config{Nodes: nodes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, linda.New(sys, sys.Nodes())
+}
+
+func TestOutThenIn(t *testing.T) {
+	sys, sp8 := newSpace(t, 3)
+	var got linda.Tuple
+	sys.Spawn(sys.Node(0), "producer", 0, func(sp *kern.Subprocess) {
+		h := sp8.HandleOn(sys.Node(0))
+		if err := h.Out(sp, "point", 3, 4); err != nil {
+			t.Error(err)
+		}
+	})
+	sys.Spawn(sys.Node(1), "consumer", 0, func(sp *kern.Subprocess) {
+		h := sp8.HandleOn(sys.Node(1))
+		tp, err := h.In(sp, "point", linda.Any, linda.Any)
+		if err != nil {
+			t.Error(err)
+		}
+		got = tp
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("got %v", got)
+	}
+	if sp8.Stored("point") != 0 {
+		t.Fatal("In should withdraw the tuple")
+	}
+}
+
+func TestInBlocksUntilOut(t *testing.T) {
+	sys, sp8 := newSpace(t, 2)
+	var gotAt sim.Time
+	sys.Spawn(sys.Node(0), "consumer", 0, func(sp *kern.Subprocess) {
+		h := sp8.HandleOn(sys.Node(0))
+		if _, err := h.In(sp, "late", linda.Any); err != nil {
+			t.Error(err)
+		}
+		gotAt = sp.Now()
+	})
+	sys.Spawn(sys.Node(1), "producer", 0, func(sp *kern.Subprocess) {
+		sp.SleepFor(sim.Milliseconds(5))
+		h := sp8.HandleOn(sys.Node(1))
+		h.Out(sp, "late", 42)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt < sim.Time(sim.Milliseconds(5)) {
+		t.Fatalf("In returned at %v, before the Out", gotAt)
+	}
+}
+
+func TestRdDoesNotWithdraw(t *testing.T) {
+	sys, sp8 := newSpace(t, 2)
+	reads := 0
+	sys.Spawn(sys.Node(0), "p", 0, func(sp *kern.Subprocess) {
+		h := sp8.HandleOn(sys.Node(0))
+		h.Out(sp, "config", "threshold", 7)
+		for i := 0; i < 3; i++ {
+			tp, err := h.Rd(sp, "config", linda.Any, linda.Any)
+			if err != nil || tp[2] != 7 {
+				t.Errorf("rd %d: %v %v", i, tp, err)
+			}
+			reads++
+		}
+		// Still present: In succeeds immediately.
+		if _, err := h.In(sp, "config", linda.Any, linda.Any); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reads != 3 {
+		t.Fatalf("reads = %d", reads)
+	}
+	if sp8.Stored("config") != 0 {
+		t.Fatal("final In should have withdrawn the tuple")
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	cases := []struct {
+		tuple, pattern linda.Tuple
+		want           bool
+	}{
+		{linda.Tuple{"a", 1}, linda.Tuple{"a", 1}, true},
+		{linda.Tuple{"a", 1}, linda.Tuple{"a", linda.Any}, true},
+		{linda.Tuple{"a", 1}, linda.Tuple{"a", 2}, false},
+		{linda.Tuple{"a", 1}, linda.Tuple{"a"}, false},
+		{linda.Tuple{"a", 1, "x"}, linda.Tuple{linda.Any, linda.Any, linda.Any}, true},
+		{linda.Tuple{"a", []int{1, 2}}, linda.Tuple{"a", []int{1, 2}}, true},
+	}
+	for i, c := range cases {
+		if got := c.tuple.Matches(c.pattern); got != c.want {
+			t.Errorf("case %d: %v ~ %v = %v", i, c.tuple, c.pattern, got)
+		}
+	}
+}
+
+func TestTupleNameValidation(t *testing.T) {
+	if _, err := (linda.Tuple{}).Name(); err == nil {
+		t.Error("empty tuple should fail")
+	}
+	if _, err := (linda.Tuple{42}).Name(); err == nil {
+		t.Error("non-string name should fail")
+	}
+}
+
+func TestBagOfTasks(t *testing.T) {
+	// The classic Linda pattern: a master Outs tasks, workers In
+	// them, compute, and Out results.
+	const tasks = 12
+	const workers = 3
+	sys, sp8 := newSpace(t, workers+1)
+	sys.Spawn(sys.Node(0), "master", 0, func(sp *kern.Subprocess) {
+		h := sp8.HandleOn(sys.Node(0))
+		for i := 0; i < tasks; i++ {
+			h.Out(sp, "task", i)
+		}
+		sum := 0
+		for i := 0; i < tasks; i++ {
+			tp, err := h.In(sp, "result", linda.Any, linda.Any)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sum += tp[2].(int)
+		}
+		want := 0
+		for i := 0; i < tasks; i++ {
+			want += i * i
+		}
+		if sum != want {
+			t.Errorf("sum = %d, want %d", sum, want)
+		}
+		// Poison pills stop the workers.
+		for w := 0; w < workers; w++ {
+			h.Out(sp, "task", -1)
+		}
+	})
+	for w := 0; w < workers; w++ {
+		w := w
+		m := sys.Node(w + 1)
+		sys.Spawn(m, fmt.Sprintf("worker%d", w), 0, func(sp *kern.Subprocess) {
+			h := sp8.HandleOn(m)
+			for {
+				tp, err := h.In(sp, "task", linda.Any)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := tp[1].(int)
+				if n < 0 {
+					return
+				}
+				sp.Compute(sim.Microseconds(500)) // the "work"
+				h.Out(sp, "result", n, n*n)
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sp8.Ins != tasks+tasks+workers || sp8.Outs != tasks+tasks+workers {
+		t.Fatalf("ops: ins=%d outs=%d", sp8.Ins, sp8.Outs)
+	}
+}
+
+func TestNamesSpreadOverManagers(t *testing.T) {
+	sys, sp8 := newSpace(t, 4)
+	done := false
+	sys.Spawn(sys.Node(0), "p", 0, func(sp *kern.Subprocess) {
+		h := sp8.HandleOn(sys.Node(0))
+		for i := 0; i < 20; i++ {
+			if err := h.Out(sp, fmt.Sprintf("key%d", i), i); err != nil {
+				t.Error(err)
+			}
+		}
+		done = true
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("producer did not finish")
+	}
+	stored := 0
+	for i := 0; i < 20; i++ {
+		stored += sp8.Stored(fmt.Sprintf("key%d", i))
+	}
+	if stored != 20 {
+		t.Fatalf("stored = %d", stored)
+	}
+}
+
+// Property (model-based): a random interleaving of Outs and Ins over a
+// single name behaves like a bag — every In returns a tuple that was
+// Out and not yet withdrawn, and everything balances.
+func TestTupleSpaceBagProperty(t *testing.T) {
+	f := func(opsRaw []uint8) bool {
+		if len(opsRaw) > 24 {
+			opsRaw = opsRaw[:24]
+		}
+		// Guarantee at least as many outs as ins by prefixing outs.
+		sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+		if err != nil {
+			return false
+		}
+		space := linda.New(sys, sys.Nodes())
+		outs, ins := 0, 0
+		for _, op := range opsRaw {
+			if op%2 == 0 {
+				outs++
+			} else {
+				ins++
+			}
+		}
+		if ins > outs {
+			outs, ins = ins, outs // just rebalance counts
+		}
+		taken := map[int]bool{}
+		ok := true
+		sys.Spawn(sys.Node(0), "producer", 0, func(sp *kern.Subprocess) {
+			h := space.HandleOn(sys.Node(0))
+			for i := 0; i < outs; i++ {
+				if err := h.Out(sp, "bag", i); err != nil {
+					ok = false
+					return
+				}
+				sp.SleepFor(sim.Microseconds(137)) // interleave
+			}
+		})
+		sys.Spawn(sys.Node(1), "consumer", 0, func(sp *kern.Subprocess) {
+			h := space.HandleOn(sys.Node(1))
+			for i := 0; i < ins; i++ {
+				tp, err := h.In(sp, "bag", linda.Any)
+				if err != nil {
+					ok = false
+					return
+				}
+				v := tp[1].(int)
+				if v < 0 || v >= outs || taken[v] {
+					ok = false
+					return
+				}
+				taken[v] = true
+			}
+		})
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		return ok && len(taken) == ins && space.Stored("bag") == outs-ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package m68k
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpcvorx/internal/sim"
+)
+
+func TestDefaultCalibrationAnchors(t *testing.T) {
+	c := DefaultCosts()
+	// Paper §5: 80 µs context switch with fixed and floating point
+	// registers.
+	if c.ContextSwitch != sim.Microseconds(80) {
+		t.Errorf("context switch = %v", c.ContextSwitch)
+	}
+	// 160 Mbit/s port = 0.05 µs/byte.
+	if c.WirePerByte != sim.Microseconds(0.05) {
+		t.Errorf("wire = %v", c.WirePerByte)
+	}
+	// Hardware message limit (paper §2: 1060 bytes).
+	if c.MaxMessage != 1060 {
+		t.Errorf("max message = %d", c.MaxMessage)
+	}
+	// S/NET FIFO (paper §2: 2048 bytes).
+	if c.SNETFifoCap != 2048 {
+		t.Errorf("fifo = %d", c.SNETFifoCap)
+	}
+	// SunOS fd limit (paper §3.3: 32).
+	if c.HostMaxFDs != 32 {
+		t.Errorf("fds = %d", c.HostMaxFDs)
+	}
+	// Channel slope: two kernel copies + two wire hops must total the
+	// 0.68 µs/byte slope of Table 2.
+	slope := 2*c.KernelCopy + 2*c.WirePerByte
+	if slope != sim.Microseconds(0.68) {
+		t.Errorf("channel per-byte slope = %v, want 0.68µs", slope)
+	}
+}
+
+func TestWireTimeExact(t *testing.T) {
+	c := DefaultCosts()
+	// 1024 bytes at 160 Mbit/s: 51.2 µs.
+	if got := c.WireTime(1024); got != sim.Microseconds(51.2) {
+		t.Errorf("wire(1024) = %v", got)
+	}
+}
+
+// Property: all the *Time helpers are linear and non-negative.
+func TestCostHelpersLinearProperty(t *testing.T) {
+	c := DefaultCosts()
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw), int(bRaw)
+		return c.CopyTime(a)+c.CopyTime(b) == c.CopyTime(a+b) &&
+			c.KernelCopyTime(a)+c.KernelCopyTime(b) == c.KernelCopyTime(a+b) &&
+			c.WireTime(a)+c.WireTime(b) == c.WireTime(a+b) &&
+			c.HostCopyTime(a)+c.HostCopyTime(b) == c.HostCopyTime(a+b) &&
+			c.CopyTime(a) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoroutineCheaperThanContextSwitch(t *testing.T) {
+	c := DefaultCosts()
+	if c.CoroutineSwitch*4 > c.ContextSwitch {
+		t.Fatalf("coroutine switch %v not clearly below context switch %v",
+			c.CoroutineSwitch, c.ContextSwitch)
+	}
+}
+
+func TestHostFasterThanNodeCopies(t *testing.T) {
+	c := DefaultCosts()
+	if c.HostCopy >= c.Copy {
+		t.Fatalf("host copy %v should be below node copy %v", c.HostCopy, c.Copy)
+	}
+}

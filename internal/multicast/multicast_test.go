@@ -1,0 +1,207 @@
+package multicast_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/multicast"
+	"hpcvorx/internal/sim"
+)
+
+func build(t *testing.T, nodes int) *core.System {
+	t.Helper()
+	sys, err := core.Build(core.Config{Nodes: nodes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMulticastDeliversToEveryMember(t *testing.T) {
+	sys := build(t, 5)
+	const members = 4
+	got := make([]multicast.Msg, members)
+	snd := multicast.NewSender(sys.Node(0).IF, sys.Mgr, "grp")
+	sys.Spawn(sys.Node(0), "writer", 0, func(sp *kern.Subprocess) {
+		for i := 0; i < members; i++ {
+			snd.Accept(sp)
+		}
+		if err := snd.Write(sp, 500, "broadcast"); err != nil {
+			t.Error(err)
+		}
+	})
+	for i := 0; i < members; i++ {
+		i := i
+		sys.Spawn(sys.Node(i+1), fmt.Sprintf("m%d", i), 0, func(sp *kern.Subprocess) {
+			r := multicast.Join(sys.Node(i+1).IF, sys.Mgr, sp, "grp")
+			got[i] = r.Read(sp)
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range got {
+		if m.Size != 500 || m.Payload != "broadcast" {
+			t.Errorf("member %d got %+v", i, m)
+		}
+	}
+}
+
+func TestWriteBlocksUntilAllAck(t *testing.T) {
+	// Group-wide stop-and-wait: the second write cannot start before
+	// every member kernel acknowledged the first.
+	sys := build(t, 4)
+	snd := multicast.NewSender(sys.Node(0).IF, sys.Mgr, "fc")
+	var w1, w2 sim.Time
+	sys.Spawn(sys.Node(0), "writer", 0, func(sp *kern.Subprocess) {
+		snd.Accept(sp)
+		snd.Accept(sp)
+		snd.Write(sp, 800, 1)
+		w1 = sp.Now()
+		snd.Write(sp, 800, 2)
+		w2 = sp.Now()
+	})
+	for i := 1; i <= 2; i++ {
+		i := i
+		sys.Spawn(sys.Node(i), fmt.Sprintf("m%d", i), 0, func(sp *kern.Subprocess) {
+			r := multicast.Join(sys.Node(i).IF, sys.Mgr, sp, "fc")
+			r.Read(sp)
+			r.Read(sp)
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Sub(w1) < sim.Microseconds(300) {
+		t.Fatalf("second write completed after only %v — no group flow control", w2.Sub(w1))
+	}
+}
+
+func TestFragmentedMulticast(t *testing.T) {
+	sys := build(t, 3)
+	snd := multicast.NewSender(sys.Node(0).IF, sys.Mgr, "big")
+	const size = 3000
+	var got multicast.Msg
+	sys.Spawn(sys.Node(0), "writer", 0, func(sp *kern.Subprocess) {
+		snd.Accept(sp)
+		if err := snd.Write(sp, size, "bulk"); err != nil {
+			t.Error(err)
+		}
+	})
+	sys.Spawn(sys.Node(1), "m", 0, func(sp *kern.Subprocess) {
+		r := multicast.Join(sys.Node(1).IF, sys.Mgr, sp, "big")
+		got = r.Read(sp)
+		if r.BytesRead != size {
+			t.Errorf("bytes read = %d, want %d", r.BytesRead, size)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != size || got.Payload != "bulk" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestEveryReceiverPaysForUnwantedData(t *testing.T) {
+	// §4.2's core point: each member's kernel reads the entire
+	// multicast even if the application needs a fraction of it.
+	sys := build(t, 5)
+	const members = 4
+	snd := multicast.NewSender(sys.Node(0).IF, sys.Mgr, "waste")
+	recvs := make([]*multicast.Receiver, members)
+	sys.Spawn(sys.Node(0), "writer", 0, func(sp *kern.Subprocess) {
+		for i := 0; i < members; i++ {
+			snd.Accept(sp)
+		}
+		for w := 0; w < 3; w++ {
+			snd.Write(sp, 1000, nil)
+		}
+	})
+	for i := 0; i < members; i++ {
+		i := i
+		sys.Spawn(sys.Node(i+1), fmt.Sprintf("m%d", i), 0, func(sp *kern.Subprocess) {
+			recvs[i] = multicast.Join(sys.Node(i+1).IF, sys.Mgr, sp, "waste")
+			for w := 0; w < 3; w++ {
+				recvs[i].Read(sp)
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recvs {
+		if r.BytesRead != 3000 {
+			t.Errorf("member %d read %d bytes, want 3000", i, r.BytesRead)
+		}
+	}
+}
+
+func TestWriteWithoutMembersFails(t *testing.T) {
+	sys := build(t, 2)
+	snd := multicast.NewSender(sys.Node(0).IF, sys.Mgr, "empty")
+	sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+		if err := snd.Write(sp, 100, nil); err == nil {
+			t.Error("write to empty group should fail")
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any member count and write count, every member
+// receives every write exactly once, in order.
+func TestMulticastExactlyOnceProperty(t *testing.T) {
+	f := func(membersRaw, writesRaw uint8, sizeRaw uint16) bool {
+		members := int(membersRaw%5) + 1
+		writes := int(writesRaw%6) + 1
+		size := int(sizeRaw%2000) + 1
+		sys, err := core.Build(core.Config{Nodes: members + 1, Seed: 1})
+		if err != nil {
+			return false
+		}
+		snd := multicast.NewSender(sys.Node(0).IF, sys.Mgr, "pr")
+		got := make([][]int, members)
+		sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+			for i := 0; i < members; i++ {
+				snd.Accept(sp)
+			}
+			for w := 0; w < writes; w++ {
+				if err := snd.Write(sp, size, w); err != nil {
+					return
+				}
+			}
+		})
+		for m := 0; m < members; m++ {
+			m := m
+			sys.Spawn(sys.Node(m+1), fmt.Sprintf("m%d", m), 0, func(sp *kern.Subprocess) {
+				r := multicast.Join(sys.Node(m+1).IF, sys.Mgr, sp, "pr")
+				for w := 0; w < writes; w++ {
+					msg := r.Read(sp)
+					got[m] = append(got[m], msg.Payload.(int))
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			return false
+		}
+		for m := 0; m < members; m++ {
+			if len(got[m]) != writes {
+				return false
+			}
+			for i, v := range got[m] {
+				if v != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package netif
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// Message tracing — the third leg of "Debugging and Performance
+// Monitoring in HPC/VORX" (the paper's reference [20], which produced
+// cdb and the software oscilloscope): record every delivered message
+// with its endpoints, service, and size, then summarize traffic
+// per-service and as an endpoint matrix.
+
+// TraceRecord is one delivered message.
+type TraceRecord struct {
+	At       sim.Time
+	Src, Dst topo.EndpointID
+	Service  string
+	Size     int
+}
+
+// MsgTrace collects trace records from any number of interfaces.
+type MsgTrace struct {
+	records []TraceRecord
+	enabled bool
+}
+
+// NewMsgTrace returns an enabled trace.
+func NewMsgTrace() *MsgTrace { return &MsgTrace{enabled: true} }
+
+// Attach starts recording deliveries arriving at f. Call before
+// traffic flows.
+func (mt *MsgTrace) Attach(f *IF) {
+	f.trace = mt
+}
+
+// record is called from the interface's delivery path.
+func (mt *MsgTrace) record(r TraceRecord) {
+	if mt.enabled {
+		mt.records = append(mt.records, r)
+	}
+}
+
+// SetEnabled pauses or resumes collection.
+func (mt *MsgTrace) SetEnabled(on bool) { mt.enabled = on }
+
+// Records returns the collected records in delivery order.
+func (mt *MsgTrace) Records() []TraceRecord { return mt.records }
+
+// ByService aggregates message counts and bytes per service name.
+func (mt *MsgTrace) ByService() map[string]struct{ Messages, Bytes int } {
+	out := map[string]struct{ Messages, Bytes int }{}
+	for _, r := range mt.records {
+		e := out[r.Service]
+		e.Messages++
+		e.Bytes += r.Size
+		out[r.Service] = e
+	}
+	return out
+}
+
+// Matrix returns the endpoint-to-endpoint byte counts.
+func (mt *MsgTrace) Matrix() map[[2]topo.EndpointID]int {
+	out := map[[2]topo.EndpointID]int{}
+	for _, r := range mt.records {
+		out[[2]topo.EndpointID{r.Src, r.Dst}] += r.Size
+	}
+	return out
+}
+
+// Window returns the records within [from, to).
+func (mt *MsgTrace) Window(from, to sim.Time) []TraceRecord {
+	var out []TraceRecord
+	for _, r := range mt.records {
+		if r.At >= from && r.At < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summarize writes a per-service traffic report, busiest first.
+func (mt *MsgTrace) Summarize(w io.Writer) {
+	type row struct {
+		svc    string
+		msgs   int
+		nbytes int
+	}
+	var rows []row
+	for svc, e := range mt.ByService() {
+		rows = append(rows, row{svc, e.Messages, e.Bytes})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].nbytes != rows[j].nbytes {
+			return rows[i].nbytes > rows[j].nbytes
+		}
+		return rows[i].svc < rows[j].svc
+	})
+	fmt.Fprintf(w, "msgtrace: %d messages\n", len(mt.records))
+	fmt.Fprintf(w, "%-18s %10s %12s\n", "SERVICE", "MESSAGES", "BYTES")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10d %12d\n", r.svc, r.msgs, r.nbytes)
+	}
+}

@@ -1,0 +1,154 @@
+// Package netif is the VORX communications driver: it connects a
+// node's kernel (package kern) to its HPC port (package hpc) and
+// demultiplexes incoming messages to registered services — the channel
+// protocol, the object manager, host stubs, and user-defined
+// communications objects all receive their traffic through one
+// interface.
+//
+// Each arriving message raises an interrupt on the node; the service's
+// declared ISR cost (interrupt entry plus whatever reading the message
+// out of the input section takes) is charged to the node's CPU before
+// the handler body runs, and the hardware input section is released at
+// that point — the VORX kernel "reads in messages immediately when
+// they arrive" (paper §2), which is what keeps the fabric deadlock
+// free.
+package netif
+
+import (
+	"fmt"
+
+	"hpcvorx/internal/hpc"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// Envelope is the payload wrapper that names the destination service.
+type Envelope struct {
+	Service string
+	Body    any
+}
+
+// Service handles one class of incoming messages.
+type Service struct {
+	// Cost returns the interrupt-level CPU time needed to accept the
+	// message (excluding the fixed interrupt entry, which netif adds).
+	// Ignored when NoInterrupt is set.
+	Cost func(m *hpc.Message) sim.Duration
+	// Handle runs at interrupt level after Cost has elapsed. It must
+	// not block; wake a subprocess for long work.
+	Handle func(m *hpc.Message)
+	// NoInterrupt delivers without raising a CPU interrupt: the
+	// message is handed to HandleRaw (with its hardware Delivery, so
+	// the handler controls when the input section frees) and costs
+	// nothing — the receiving program polls for it (paper §5:
+	// "communications interrupts are disabled and user-defined
+	// objects are used to test for input at convenient places").
+	NoInterrupt bool
+	// HandleRaw is used instead of Handle when NoInterrupt is set.
+	HandleRaw func(d *hpc.Delivery)
+}
+
+// IF is one node's network interface.
+type IF struct {
+	node     *kern.Node
+	ic       *hpc.Interconnect
+	ep       topo.EndpointID
+	services map[string]Service
+	trace    *MsgTrace
+
+	// Dropped counts messages that arrived for an unregistered
+	// service (a programming error in the simulated application).
+	Dropped int
+}
+
+// Attach wires node to endpoint ep of ic and returns the interface.
+func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
+	f := &IF{node: node, ic: ic, ep: ep, services: make(map[string]Service)}
+	ic.SetDeliver(ep, func(d *hpc.Delivery) {
+		env, ok := d.Msg.Payload.(Envelope)
+		if !ok {
+			f.Dropped++
+			d.Release()
+			return
+		}
+		if f.trace != nil {
+			f.trace.record(TraceRecord{
+				At: f.node.Kernel().Now(), Src: d.Msg.Src, Dst: d.Msg.Dst,
+				Service: env.Service, Size: d.Msg.Size,
+			})
+		}
+		svc, ok := f.services[env.Service]
+		if !ok {
+			f.Dropped++
+			d.Release()
+			return
+		}
+		if svc.NoInterrupt {
+			svc.HandleRaw(d)
+			return
+		}
+		msg := d.Msg
+		node.Interrupt(svc.Cost(msg), func() {
+			d.Release() // message has been read out of the input section
+			svc.Handle(msg)
+		})
+	})
+	return f
+}
+
+// Node returns the attached kernel node.
+func (f *IF) Node() *kern.Node { return f.node }
+
+// Interconnect returns the attached fabric.
+func (f *IF) Interconnect() *hpc.Interconnect { return f.ic }
+
+// Endpoint returns this interface's endpoint id.
+func (f *IF) Endpoint() topo.EndpointID { return f.ep }
+
+// Register installs the handler for a service name. Registering the
+// same name twice panics: it is a wiring bug.
+func (f *IF) Register(name string, svc Service) {
+	if _, dup := f.services[name]; dup {
+		panic(fmt.Sprintf("netif: service %q registered twice on %s", name, f.node.Name()))
+	}
+	f.services[name] = svc
+}
+
+// Send transmits an Envelope-wrapped message, blocking the subprocess
+// until the output section accepts it. size is the wire size in bytes
+// (headers included). No CPU is charged here: callers model their own
+// protocol costs.
+func (f *IF) Send(sp *kern.Subprocess, dst topo.EndpointID, service string, size int, body any) error {
+	return f.ic.Send(sp.Proc(), &hpc.Message{
+		Src: f.ep, Dst: dst, Size: size,
+		Payload: Envelope{Service: service, Body: body},
+		Tag:     service,
+	}, nil)
+}
+
+// SendAsync transmits from interrupt or event context: if the output
+// section is full the send is retried on the room-available interrupt.
+// onDelivered may be nil.
+func (f *IF) SendAsync(dst topo.EndpointID, service string, size int, body any, onDelivered func()) {
+	msg := &hpc.Message{
+		Src: f.ep, Dst: dst, Size: size,
+		Payload: Envelope{Service: service, Body: body},
+		Tag:     service,
+	}
+	var try func()
+	try = func() {
+		ok, err := f.ic.TrySend(msg, func(*hpc.Message) {
+			if onDelivered != nil {
+				onDelivered()
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("netif: async send: %v", err))
+		}
+		if !ok {
+			f.ic.NotifyRoom(f.ep, try)
+		}
+	}
+	try()
+}

@@ -1,0 +1,101 @@
+package oscope
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+)
+
+// The paper closes §6.2 with "This tool works well when the
+// application has few enough processors so that all the graphs fit on
+// the screen. We are studying ways to effectively display data for
+// more processors." RenderGrouped is one such way: consecutive
+// processors are folded into one row each, and every cell shows the
+// group's average busy fraction as a density ramp instead of a single
+// dominant category.
+
+// densityRamp maps a busy fraction to a glyph, low to high.
+const densityRamp = " .:-=+*#@"
+
+func densityGlyph(busy float64) byte {
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > 1 {
+		busy = 1
+	}
+	idx := int(busy * float64(len(densityRamp)-1))
+	return densityRamp[idx]
+}
+
+// RenderGrouped draws the window with groupSize processors per row;
+// each cell is the group's mean busy (user+system) fraction over that
+// time slice. All rows remain synchronized.
+func (s *Scope) RenderGrouped(w io.Writer, from, to sim.Time, width, groupSize int) {
+	if width <= 0 {
+		width = 60
+	}
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	span := to.Sub(from)
+	if span <= 0 {
+		fmt.Fprintln(w, "oscope: empty window")
+		return
+	}
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	fmt.Fprintf(w, "oscope (grouped x%d): %v .. %v\n", groupSize, from, to)
+	for g := 0; g < len(names); g += groupSize {
+		end := g + groupSize
+		if end > len(names) {
+			end = len(names)
+		}
+		group := names[g:end]
+		row := make([]byte, width)
+		for c := 0; c < width; c++ {
+			a := from.Add(sim.Duration(int64(span) * int64(c) / int64(width)))
+			b := from.Add(sim.Duration(int64(span) * int64(c+1) / int64(width)))
+			busy := 0.0
+			for _, name := range group {
+				busy += s.busyFraction(name, a, b)
+			}
+			row[c] = densityGlyph(busy / float64(len(group)))
+		}
+		label := group[0]
+		if len(group) > 1 {
+			label = fmt.Sprintf("%s..%s", group[0], group[len(group)-1])
+		}
+		fmt.Fprintf(w, "%-16s |%s|\n", label, row)
+	}
+	fmt.Fprintf(w, "density: '%s' = 0%%..100%% busy\n", densityRamp)
+}
+
+// busyFraction returns the (user+system)/window fraction for one node
+// over [a,b).
+func (s *Scope) busyFraction(node string, a, b sim.Time) float64 {
+	total := b.Sub(a)
+	if total <= 0 {
+		return 0
+	}
+	var busy sim.Duration
+	for _, iv := range s.recs[node] {
+		if iv.Cat != kern.CatUser && iv.Cat != kern.CatSystem {
+			continue
+		}
+		x, y := iv.Start, iv.End
+		if x < a {
+			x = a
+		}
+		if y > b {
+			y = b
+		}
+		if y > x {
+			busy += y.Sub(x)
+		}
+	}
+	return float64(busy) / float64(total)
+}

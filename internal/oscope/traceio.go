@@ -1,0 +1,84 @@
+package oscope
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+)
+
+// Recording and playback: "Execution data is recorded while the
+// application is running and later the software oscilloscope is used
+// to display the data" (§6.2). Save writes the recorded trace in a
+// line-oriented text format; Load reconstructs a Scope from it, so a
+// run on one machine can be examined elsewhere, frozen, and seeked at
+// will.
+
+// Save writes the recorded intervals. Format: one header line, then
+// "node start end cat" per interval, nanosecond timestamps.
+func (s *Scope) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	withData := 0
+	for _, name := range names {
+		if len(s.recs[name]) > 0 {
+			withData++
+		}
+	}
+	fmt.Fprintf(bw, "oscope-trace 1 %d\n", withData)
+	for _, name := range names {
+		for _, iv := range s.recs[name] {
+			fmt.Fprintf(bw, "%s %d %d %d\n", name, int64(iv.Start), int64(iv.End), int(iv.Cat))
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace written by Save into a detached Scope (no live
+// nodes; Finalize is a no-op).
+func Load(r io.Reader) (*Scope, error) {
+	s := &Scope{recs: map[string][]kern.Interval{}, nodes: map[string]*kern.Node{}}
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("oscope: empty trace")
+	}
+	var version, count int
+	if _, err := fmt.Sscanf(sc.Text(), "oscope-trace %d %d", &version, &count); err != nil {
+		return nil, fmt.Errorf("oscope: bad trace header %q", sc.Text())
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("oscope: unsupported trace version %d", version)
+	}
+	seen := map[string]bool{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var name string
+		var start, end int64
+		var cat int
+		if _, err := fmt.Sscanf(line, "%s %d %d %d", &name, &start, &end, &cat); err != nil {
+			return nil, fmt.Errorf("oscope: bad trace line %q", line)
+		}
+		if !seen[name] {
+			seen[name] = true
+			s.order = append(s.order, name)
+		}
+		s.recs[name] = append(s.recs[name], kern.Interval{
+			Start: sim.Time(start), End: sim.Time(end), Cat: kern.Category(cat),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.order) != count {
+		return nil, fmt.Errorf("oscope: trace names %d, header says %d", len(s.order), count)
+	}
+	return s, nil
+}

@@ -1,0 +1,133 @@
+// Package profiler is the prof-style flat execution profiler of paper
+// §6.2: run on a process, it shows how execution time is divided
+// among the different parts of the program, so the programmer can
+// find the small section of code where most of the time goes and
+// rewrite it.
+//
+// Programs mark their phases explicitly:
+//
+//	p := profiler.New()
+//	stop := p.Enter(sp, "factor")
+//	... compute ...
+//	stop()
+//
+// Report lists phases by descending share of accounted time.
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+)
+
+// Profile accumulates per-phase execution time for one process.
+type Profile struct {
+	name   string
+	phases map[string]*phase
+}
+
+type phase struct {
+	name  string
+	total sim.Duration
+	calls int
+}
+
+// New creates an empty profile.
+func New(name string) *Profile {
+	return &Profile{name: name, phases: map[string]*phase{}}
+}
+
+// Enter marks the start of a named phase on the subprocess; the
+// returned stop function records the elapsed virtual time. Nested or
+// repeated phases accumulate.
+func (p *Profile) Enter(sp *kern.Subprocess, name string) (stop func()) {
+	start := sp.Now()
+	return func() {
+		ph := p.phases[name]
+		if ph == nil {
+			ph = &phase{name: name}
+			p.phases[name] = ph
+		}
+		ph.total += sp.Now().Sub(start)
+		ph.calls++
+	}
+}
+
+// Add records d against a phase directly (for interrupt-level code
+// with no subprocess context).
+func (p *Profile) Add(name string, d sim.Duration) {
+	ph := p.phases[name]
+	if ph == nil {
+		ph = &phase{name: name}
+		p.phases[name] = ph
+	}
+	ph.total += d
+	ph.calls++
+}
+
+// Total returns the accumulated time across all phases.
+func (p *Profile) Total() sim.Duration {
+	var t sim.Duration
+	for _, ph := range p.phases {
+		t += ph.total
+	}
+	return t
+}
+
+// Phase returns the accumulated time for one phase.
+func (p *Profile) Phase(name string) sim.Duration {
+	if ph := p.phases[name]; ph != nil {
+		return ph.total
+	}
+	return 0
+}
+
+// Hottest returns the phase with the most accumulated time.
+func (p *Profile) Hottest() (string, sim.Duration) {
+	var best *phase
+	for _, ph := range p.phases {
+		if best == nil || ph.total > best.total ||
+			(ph.total == best.total && ph.name < best.name) {
+			best = ph
+		}
+	}
+	if best == nil {
+		return "", 0
+	}
+	return best.name, best.total
+}
+
+// Report writes the flat profile, hottest phase first.
+func (p *Profile) Report(w io.Writer) {
+	total := p.Total()
+	fmt.Fprintf(w, "prof: %s — %v accounted\n", p.name, total)
+	fmt.Fprintf(w, "%7s %10s %8s  %s\n", "%time", "total", "calls", "name")
+	var list []*phase
+	for _, ph := range p.phases {
+		list = append(list, ph)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].total != list[j].total {
+			return list[i].total > list[j].total
+		}
+		return list[i].name < list[j].name
+	})
+	for _, ph := range list {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(ph.total) / float64(total)
+		}
+		fmt.Fprintf(w, "%6.1f%% %10v %8d  %s\n", pct, ph.total, ph.calls, ph.name)
+	}
+}
+
+// String renders the report.
+func (p *Profile) String() string {
+	var b strings.Builder
+	p.Report(&b)
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package profiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/profiler"
+	"hpcvorx/internal/sim"
+)
+
+func TestPhaseAccounting(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New("app")
+	sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+		stop := p.Enter(sp, "setup")
+		sp.Compute(sim.Milliseconds(1))
+		stop()
+		for i := 0; i < 3; i++ {
+			stop := p.Enter(sp, "solve")
+			sp.Compute(sim.Milliseconds(3))
+			stop()
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Phase("solve"); got != sim.Milliseconds(9) {
+		t.Fatalf("solve = %v", got)
+	}
+	if got := p.Phase("setup"); got < sim.Milliseconds(1) {
+		t.Fatalf("setup = %v", got)
+	}
+	name, d := p.Hottest()
+	if name != "solve" || d != sim.Milliseconds(9) {
+		t.Fatalf("hottest = %s %v", name, d)
+	}
+}
+
+func TestReportOrderAndPercentages(t *testing.T) {
+	p := profiler.New("x")
+	p.Add("small", sim.Milliseconds(1))
+	p.Add("big", sim.Milliseconds(9))
+	out := p.String()
+	bigIdx := strings.Index(out, "big")
+	smallIdx := strings.Index(out, "small")
+	if bigIdx < 0 || smallIdx < 0 || bigIdx > smallIdx {
+		t.Fatalf("hottest-first ordering broken:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") || !strings.Contains(out, "10.0%") {
+		t.Fatalf("percentages missing:\n%s", out)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := profiler.New("empty")
+	if p.Total() != 0 {
+		t.Fatal("empty total nonzero")
+	}
+	if name, _ := p.Hottest(); name != "" {
+		t.Fatalf("hottest of empty = %q", name)
+	}
+	if !strings.Contains(p.String(), "empty") {
+		t.Fatal("report should carry the profile name")
+	}
+}
+
+func TestTypicalHotSpotDominates(t *testing.T) {
+	// §6.2: "Typically one finds that a large portion of the
+	// execution time is spent in a small section of the code."
+	p := profiler.New("hot")
+	p.Add("inner-loop", sim.Milliseconds(80))
+	p.Add("io", sim.Milliseconds(15))
+	p.Add("init", sim.Milliseconds(5))
+	name, d := p.Hottest()
+	if name != "inner-loop" || float64(d)/float64(p.Total()) < 0.75 {
+		t.Fatalf("hottest = %s (%.2f)", name, float64(d)/float64(p.Total()))
+	}
+}

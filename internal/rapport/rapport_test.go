@@ -1,0 +1,162 @@
+package rapport_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/rapport"
+	"hpcvorx/internal/sim"
+)
+
+func newConf(t *testing.T, hosts int) (*core.System, *rapport.Conference) {
+	t.Helper()
+	sys, err := core.Build(core.Config{Hosts: hosts, Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, rapport.New(sys, sys.Node(0), "conf")
+}
+
+// conferee joins, speaks and listens for `frames` frames, then leaves.
+func conferee(sys *core.System, c *rapport.Conference, m *core.Machine, name string,
+	startDelay sim.Duration, frames int, got *[]rapport.Frame, errs *[]error) {
+	sys.Spawn(m, name, 0, func(sp *kern.Subprocess) {
+		sp.SleepFor(startDelay)
+		mem, err := c.Join(sp, m)
+		if err != nil {
+			*errs = append(*errs, err)
+			return
+		}
+		for f := 0; f < frames; f++ {
+			if err := mem.Speak(sp); err != nil {
+				*errs = append(*errs, err)
+				return
+			}
+			fr, err := mem.Listen(sp)
+			if err != nil {
+				*errs = append(*errs, err)
+				return
+			}
+			*got = append(*got, fr)
+		}
+		mem.Leave(sp)
+	})
+}
+
+func TestThreeWayConference(t *testing.T) {
+	sys, c := newConf(t, 3)
+	got := make([][]rapport.Frame, 3)
+	var errs []error
+	for i := 0; i < 3; i++ {
+		conferee(sys, c, sys.Host(i), fmt.Sprintf("conf%d", i), 0, 10, &got[i], &errs)
+	}
+	sys.RunFor(sim.Seconds(5))
+	sys.Shutdown()
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	for i := 0; i < 3; i++ {
+		if len(got[i]) != 10 {
+			t.Fatalf("conferee %d heard %d frames", i, len(got[i]))
+		}
+	}
+	// Steady-state mixes should combine all three voices.
+	last := got[0][len(got[0])-1]
+	if last.Sources != 3 {
+		t.Fatalf("final mix had %d sources, want 3", last.Sources)
+	}
+	if c.PeakMembers != 3 {
+		t.Fatalf("peak members = %d", c.PeakMembers)
+	}
+}
+
+func TestLateJoinerHearsSubsequentMixes(t *testing.T) {
+	sys, c := newConf(t, 2)
+	var early, late []rapport.Frame
+	var errs []error
+	conferee(sys, c, sys.Host(0), "early", 0, 12, &early, &errs)
+	conferee(sys, c, sys.Host(1), "late", 300*sim.Millisecond, 4, &late, &errs)
+	sys.RunFor(sim.Seconds(5))
+	sys.Shutdown()
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(late) != 4 {
+		t.Fatalf("late joiner heard %d frames", len(late))
+	}
+	// The late joiner's first frame must be a later sequence number
+	// than the conference's first.
+	if late[0].Seq <= early[0].Seq {
+		t.Fatalf("late joiner got seq %d, early starter seq %d", late[0].Seq, early[0].Seq)
+	}
+}
+
+func TestLeaverStopsAffectingMix(t *testing.T) {
+	sys, c := newConf(t, 2)
+	var stay, leave []rapport.Frame
+	var errs []error
+	conferee(sys, c, sys.Host(0), "stayer", 0, 14, &stay, &errs)
+	conferee(sys, c, sys.Host(1), "leaver", 0, 4, &leave, &errs)
+	sys.RunFor(sim.Seconds(5))
+	sys.Shutdown()
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(stay) != 14 {
+		t.Fatalf("stayer heard %d frames", len(stay))
+	}
+	// After the leaver departs, mixes drop to one source.
+	last := stay[len(stay)-1]
+	if last.Sources != 1 {
+		t.Fatalf("final mix sources = %d, want 1 after leave", last.Sources)
+	}
+	if c.Members() != 0 {
+		t.Fatalf("members after run = %d", c.Members())
+	}
+}
+
+func TestRealTimeCadence(t *testing.T) {
+	// The mix must be produced at the frame period, not drift: N
+	// frames take ~N periods end to end.
+	sys, c := newConf(t, 2)
+	var got []rapport.Frame
+	var errs []error
+	const frames = 20
+	conferee(sys, c, sys.Host(0), "a", 0, frames, &got, &errs)
+	var g2 []rapport.Frame
+	conferee(sys, c, sys.Host(1), "b", 0, frames, &g2, &errs)
+	sys.RunFor(sim.Seconds(10))
+	end := sys.K.Now()
+	sys.Shutdown()
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	_ = end
+	if len(got) != frames {
+		t.Fatalf("heard %d frames", len(got))
+	}
+	// Sequence numbers advance by ~1 per period: no starvation gaps.
+	span := got[len(got)-1].Seq - got[0].Seq
+	if span < frames-1 || span > frames+3 {
+		t.Fatalf("sequence span %d over %d frames — cadence drift", span, frames)
+	}
+}
+
+func TestMixerOnNodeConfereesOnHosts(t *testing.T) {
+	// The LAM property: one application spanning the node pool and
+	// the workstations.
+	sys, c := newConf(t, 2)
+	var got []rapport.Frame
+	var errs []error
+	conferee(sys, c, sys.Host(0), "ws", 0, 3, &got, &errs)
+	sys.RunFor(sim.Seconds(3))
+	sys.Shutdown()
+	if len(errs) > 0 || len(got) != 3 {
+		t.Fatalf("frames=%d errs=%v", len(got), errs)
+	}
+	if c.Mixed < 3 {
+		t.Fatalf("mixed = %d", c.Mixed)
+	}
+}

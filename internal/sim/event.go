@@ -1,0 +1,70 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. Events at equal times fire in
+// scheduling order (seq), which makes the simulation deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be canceled before it
+// fires. The zero Timer is invalid.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still
+// pending (true) or had already fired or been stopped (false).
+// Stopping an already-stopped timer is a no-op.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been stopped.
+func (t Timer) Pending() bool {
+	return t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kernel is a deterministic discrete-event simulation kernel.
+// Create one with NewKernel, spawn processes with Spawn, and drive the
+// simulation with Run or RunUntil. A Kernel must not be shared between
+// host goroutines: all access happens either before Run or from within
+// simulated processes and scheduled events.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	running *Proc // the proc currently holding the run token, if any
+	yield   chan struct{}
+	procs   []*Proc // all procs ever spawned
+	alive   int     // procs spawned but not yet finished
+	nextID  int
+	stopped bool
+}
+
+// NewKernel returns a kernel with its virtual clock at zero. The seed
+// feeds the kernel's random source, which is used only by components
+// that explicitly ask for randomness (e.g. random backoff); the kernel
+// itself is deterministic for a given seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at time at (clamped to the present) and
+// returns a Timer that can cancel it.
+func (k *Kernel) At(at Time, fn func()) Timer {
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Spawn creates a new simulated process running fn. The process starts
+// at the current virtual time, after already-scheduled work at this
+// instant. The name appears in deadlock reports and traces.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan struct{}),
+		state:  procNew,
+	}
+	k.nextID++
+	k.procs = append(k.procs, p)
+	k.alive++
+	k.At(k.now, func() { k.startProc(p, fn) })
+	return p
+}
+
+// startProc launches the goroutine backing p and gives it the token.
+// Must be called from kernel-loop context.
+func (k *Kernel) startProc(p *Proc, fn func(p *Proc)) {
+	go func() {
+		<-p.resume
+		defer func() {
+			p.state = procDone
+			k.alive--
+			if r := recover(); r != nil && r != errKilled {
+				p.panicked = r
+			}
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.switchTo(p)
+}
+
+// switchTo hands the run token to p and waits until p blocks or
+// finishes. Must only be called from kernel-loop context (inside an
+// event callback), never from a running proc.
+func (k *Kernel) switchTo(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	prev := k.running
+	k.running = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-k.yield
+	k.running = prev
+	if p.panicked != nil {
+		panic(fmt.Sprintf("sim: proc %q panicked: %v", p.name, p.panicked))
+	}
+}
+
+// Running returns the proc currently holding the run token, or nil when
+// the kernel loop itself is running.
+func (k *Kernel) Running() *Proc { return k.running }
+
+// Alive reports the number of spawned processes that have not finished.
+func (k *Kernel) Alive() int { return k.alive }
+
+// Stop makes Run return after the current event completes. Pending
+// events remain queued; a subsequent Run resumes them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events until the event queue drains or Stop is
+// called. If processes remain blocked when the queue drains, Run
+// returns a *DeadlockError describing them; the processes stay parked
+// and can be cleaned up with Shutdown.
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for k.events.Len() > 0 && !k.stopped {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+	if k.stopped {
+		return nil
+	}
+	for _, p := range k.procs {
+		if (p.state == procParked || p.state == procNew) && !p.daemon {
+			return k.deadlockError()
+		}
+	}
+	return nil
+}
+
+// RunFor advances the simulation by at most d, then returns. Parked
+// processes are not a deadlock under RunFor: they may be awaiting
+// events that the caller will inject later.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
+
+// RunUntil dispatches events with timestamps <= deadline and then sets
+// the clock to deadline (if it is in the future).
+func (k *Kernel) RunUntil(deadline Time) {
+	k.stopped = false
+	for k.events.Len() > 0 && !k.stopped {
+		ev := k.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+	if !k.stopped && k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Shutdown kills all parked processes so their goroutines exit. It is
+// safe to call after Run returns (including after a deadlock).
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.state == procParked {
+			p.killed = true
+			k.switchTo(p)
+		}
+	}
+}
+
+// Blocked returns the processes currently parked on a simulation
+// primitive, in spawn order. Useful for debugging tools (cdb).
+func (k *Kernel) Blocked() []*Proc {
+	var out []*Proc
+	for _, p := range k.procs {
+		if p.state == procParked {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (k *Kernel) deadlockError() *DeadlockError {
+	err := &DeadlockError{At: k.now}
+	for _, p := range k.procs {
+		if (p.state == procParked || p.state == procNew) && !p.daemon {
+			err.Procs = append(err.Procs, BlockedProc{
+				Name:   p.name,
+				Reason: p.waitReason,
+			})
+		}
+	}
+	sort.Slice(err.Procs, func(i, j int) bool { return err.Procs[i].Name < err.Procs[j].Name })
+	return err
+}
+
+// BlockedProc describes one process stuck at deadlock time.
+type BlockedProc struct {
+	Name   string
+	Reason string
+}
+
+// DeadlockError reports that the event queue drained while processes
+// were still blocked — the simulated application is deadlocked.
+type DeadlockError struct {
+	At    Time
+	Procs []BlockedProc
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at %v with %d blocked proc(s):", e.At, len(e.Procs))
+	for _, p := range e.Procs {
+		fmt.Fprintf(&b, " [%s: %s]", p.Name, p.Reason)
+	}
+	return b.String()
+}

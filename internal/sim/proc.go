@@ -1,0 +1,133 @@
+package sim
+
+import "errors"
+
+// errKilled is panicked inside a parked proc by Shutdown so that its
+// goroutine unwinds and exits.
+var errKilled = errors.New("sim: proc killed")
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by
+// the Kernel in virtual time. All Proc methods must be called from the
+// proc's own goroutine while it holds the run token (i.e. from within
+// the function passed to Spawn, directly or indirectly).
+type Proc struct {
+	k          *Kernel
+	id         int
+	name       string
+	resume     chan struct{}
+	state      procState
+	waitReason string
+	killed     bool
+	panicked   any
+	daemon     bool
+
+	// parkPending holds the reason for an armed Park awaiting Block.
+	parkPending string
+}
+
+// SetDaemon marks the proc as a background service: a simulation where
+// only daemons remain blocked is complete, not deadlocked. Use it for
+// kernel drain loops and other forever-servers.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// Daemon reports whether the proc is a daemon.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// Kernel returns the kernel this proc runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// ID returns the proc's unique id (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// WaitReason returns why the proc is blocked ("" when running).
+func (p *Proc) WaitReason() string { return p.waitReason }
+
+// park blocks the proc until some kernel-side event resumes it.
+// reason is recorded for deadlock reports.
+func (p *Proc) park(reason string) {
+	p.waitReason = reason
+	p.state = procParked
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.state = procRunning
+	p.waitReason = ""
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// unpark schedules the proc to resume at the current virtual time,
+// after events already queued at this instant. It must be called from
+// kernel context or from another running proc.
+func (p *Proc) unpark() {
+	p.k.At(p.k.now, func() { p.k.switchTo(p) })
+}
+
+// Sleep blocks the proc for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.k.At(p.k.now.Add(d), func() { p.k.switchTo(p) })
+	p.park("sleep")
+}
+
+// SleepUntil blocks the proc until the given instant.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		p.Yield()
+		return
+	}
+	p.k.At(t, func() { p.k.switchTo(p) })
+	p.park("sleep-until")
+}
+
+// Yield relinquishes the token until all other work scheduled at the
+// current instant has run.
+func (p *Proc) Yield() {
+	p.k.At(p.k.now, func() { p.k.switchTo(p) })
+	p.park("yield")
+}
+
+// Park blocks the proc until another process or event calls the
+// returned wake function. Calling wake more than once is a no-op; the
+// wake function may be called from any simulation context.
+//
+// Park is the escape hatch used to build higher-level primitives.
+func (p *Proc) Park(reason string) (wake func()) {
+	woken := false
+	wake = func() {
+		if woken {
+			return
+		}
+		woken = true
+		p.unpark()
+	}
+	// The caller arms wake *before* blocking, so return first and let
+	// the caller invoke Block.
+	p.parkPending = reason
+	return wake
+}
+
+// Block parks the proc; it must follow a Park call that armed a waker.
+func (p *Proc) Block() {
+	reason := p.parkPending
+	p.parkPending = ""
+	p.park(reason)
+}

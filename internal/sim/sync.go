@@ -1,0 +1,134 @@
+package sim
+
+// Semaphore is a counting semaphore in virtual time. Waiters are
+// served in FIFO order, which keeps simulations deterministic.
+type Semaphore struct {
+	k       *Kernel
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, name string, count int) *Semaphore {
+	return &Semaphore{k: k, name: name, count: count}
+}
+
+// Value returns the current count (negative values never occur; a
+// zero count with waiters means contention).
+func (s *Semaphore) Value() int { return s.count }
+
+// Waiters returns the number of blocked acquirers.
+func (s *Semaphore) Waiters() int { return len(s.waiters) }
+
+// Acquire decrements the semaphore, blocking p while the count is zero.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.count > 0 {
+		s.count--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park("semaphore " + s.name)
+}
+
+// TryAcquire decrements the semaphore if possible without blocking and
+// reports whether it succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Release increments the semaphore, waking the oldest waiter if any.
+// A released token handed directly to a waiter does not pass through
+// the count, so Release-then-Acquire pairs are fair.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.unpark()
+		return
+	}
+	s.count++
+}
+
+// Cond is a condition-variable-like wait list: processes Wait on it,
+// and any simulation context can Signal (wake one, FIFO) or Broadcast
+// (wake all). Unlike sync.Cond there is no associated lock — the
+// simulation is single-threaded in virtual time.
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns an empty wait list.
+func NewCond(k *Kernel, name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Wait blocks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.name)
+}
+
+// Signal wakes the oldest waiter, if any, and reports whether one was
+// woken.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.unpark()
+	return true
+}
+
+// Broadcast wakes every waiter, in arrival order.
+func (c *Cond) Broadcast() int {
+	n := len(c.waiters)
+	for _, w := range c.waiters {
+		w.unpark()
+	}
+	c.waiters = nil
+	return n
+}
+
+// Waiters returns the number of blocked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// WaitGroup counts outstanding work in virtual time.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add adds delta to the counter. It panics if the counter goes
+// negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			w.unpark()
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	p.park("waitgroup")
+}

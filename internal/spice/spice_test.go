@@ -1,0 +1,95 @@
+package spice_test
+
+import (
+	"math"
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/spice"
+)
+
+func TestSequentialJacobiConverges(t *testing.T) {
+	g := spice.NewGrid(16)
+	x := g.SolveSequential(200)
+	if r := g.Residual(x); r > 1e-6 {
+		t.Fatalf("residual after 200 sweeps = %g", r)
+	}
+}
+
+func solve(t *testing.T, gridN, procs, iters int, tr spice.Transport) (*spice.Result, []float64) {
+	t.Helper()
+	sys, err := core.Build(core.Config{Nodes: procs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spice.NewGrid(gridN)
+	res, x, err := spice.Solve(sys, g, procs, iters, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, x
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	for _, tr := range []spice.Transport{spice.Channels, spice.UDO} {
+		res, x := solve(t, 16, 4, 30, tr)
+		want := spice.NewGrid(16).SolveSequential(30)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: x[%d] = %g, want %g", tr, i, x[i], want[i])
+			}
+		}
+		if res.Messages != 2*(4-1)*30 {
+			t.Fatalf("%v: messages = %d, want %d", tr, res.Messages, 2*3*30)
+		}
+	}
+}
+
+func TestUDOFasterThanChannels(t *testing.T) {
+	// §4.1: SPICE needed very low latency comms and bypassed the
+	// channel protocol with user-defined objects. The boundary
+	// messages here are small (n×4 bytes), so the per-message fixed
+	// cost — 303 µs channels vs ~60 µs UDO — dominates exchange time.
+	chRes, _ := solve(t, 16, 4, 40, spice.Channels)
+	udoRes, _ := solve(t, 16, 4, 40, spice.UDO)
+	if udoRes.Elapsed >= chRes.Elapsed {
+		t.Fatalf("UDO (%v) should beat channels (%v)", udoRes.Elapsed, chRes.Elapsed)
+	}
+	speedup := float64(chRes.Elapsed) / float64(udoRes.Elapsed)
+	if speedup < 1.05 {
+		t.Fatalf("speedup only %.3f", speedup)
+	}
+}
+
+func TestResidualDropsWithIterations(t *testing.T) {
+	short, _ := solve(t, 16, 4, 5, spice.UDO)
+	long, _ := solve(t, 16, 4, 80, spice.UDO)
+	if long.Residual >= short.Residual {
+		t.Fatalf("residual did not drop: %g -> %g", short.Residual, long.Residual)
+	}
+	if long.Residual > 1e-3 {
+		t.Fatalf("residual after 80 sweeps = %g", long.Residual)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spice.NewGrid(16)
+	if _, _, err := spice.Solve(sys, g, 3, 5, spice.UDO); err == nil {
+		t.Fatal("3 procs do not divide 16")
+	}
+	if _, _, err := spice.Solve(sys, g, 4, 5, spice.UDO); err == nil {
+		t.Fatal("only 3 nodes available")
+	}
+}
+
+func TestMoreProcessorsShortenSolve(t *testing.T) {
+	one, _ := solve(t, 16, 1, 20, spice.UDO)
+	four, _ := solve(t, 16, 4, 20, spice.UDO)
+	if four.Elapsed >= one.Elapsed {
+		t.Fatalf("4 procs (%v) not faster than 1 (%v)", four.Elapsed, one.Elapsed)
+	}
+}

@@ -1,0 +1,130 @@
+package stub_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/stub"
+)
+
+// runPool measures the makespan of procs node processes each issuing
+// calls syscalls through a pool of nHosts workstations.
+func runPool(t *testing.T, nHosts, procs, calls int) (sim.Duration, *stub.SyscallPool) {
+	t.Helper()
+	sys, err := core.Build(core.Config{Hosts: nHosts, Nodes: procs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stub.NewSyscallPool(sys, sys.Hosts())
+	var end sim.Time
+	for i := 0; i < procs; i++ {
+		i := i
+		m := sys.Node(i)
+		sys.Spawn(m, fmt.Sprintf("app%d", i), 0, func(sp *kern.Subprocess) {
+			c := pool.NewClient(m)
+			for j := 0; j < calls; j++ {
+				if err := c.Syscall(sp, "write", sim.Microseconds(300)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if sp.Now() > end {
+				end = sp.Now()
+			}
+		})
+	}
+	sys.RunFor(sim.Seconds(30))
+	sys.Shutdown()
+	if end == 0 {
+		t.Fatal("no process finished")
+	}
+	return end.Sub(0), pool
+}
+
+func TestPoolDistributesLoad(t *testing.T) {
+	_, pool := runPool(t, 4, 8, 12)
+	total := 0
+	for hi, n := range pool.Served {
+		if n == 0 {
+			t.Errorf("host %d served nothing", hi)
+		}
+		total += n
+	}
+	if total != 8*12 {
+		t.Fatalf("served %d, want %d", total, 8*12)
+	}
+	// Round-robin: perfectly even.
+	for hi, n := range pool.Served {
+		if n != total/4 {
+			t.Errorf("host %d served %d, want %d", hi, n, total/4)
+		}
+	}
+}
+
+func TestMoreHostsShortenSyscallMakespan(t *testing.T) {
+	// The point of the decentralized scheme: the single-host
+	// bottleneck disappears when calls spread over the workstations.
+	one, _ := runPool(t, 1, 8, 12)
+	four, _ := runPool(t, 4, 8, 12)
+	if speedup := float64(one) / float64(four); speedup < 2 {
+		t.Fatalf("4 hosts gave only %.2fx over 1 (one=%v four=%v)", speedup, one, four)
+	}
+}
+
+func TestSyscallOnPinsHost(t *testing.T) {
+	sys, err := core.Build(core.Config{Hosts: 2, Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stub.NewSyscallPool(sys, sys.Hosts())
+	m := sys.Node(0)
+	sys.Spawn(m, "app", 0, func(sp *kern.Subprocess) {
+		c := pool.NewClient(m)
+		for j := 0; j < 5; j++ {
+			if err := c.SyscallOn(sp, 1, "write", sim.Microseconds(100)); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := c.SyscallOn(sp, 7, "write", 0); err == nil {
+			t.Error("bad host index should fail")
+		}
+	})
+	sys.RunFor(sim.Seconds(5))
+	sys.Shutdown()
+	if pool.Served[0] != 0 || pool.Served[1] != 5 {
+		t.Fatalf("served = %v", pool.Served)
+	}
+}
+
+func TestPoolBlockingCallOnlyStallsOneConnection(t *testing.T) {
+	// Unlike the shared stub, a blocking call through the pool holds
+	// only its own per-connection server.
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := stub.NewSyscallPool(sys, sys.Hosts())
+	var elapsed sim.Duration
+	sys.Spawn(sys.Node(0), "blocker", 0, func(sp *kern.Subprocess) {
+		c := pool.NewClient(sys.Node(0))
+		c.Syscall(sp, "block", sim.Seconds(10))
+	})
+	sys.Spawn(sys.Node(1), "worker", 0, func(sp *kern.Subprocess) {
+		sp.SleepFor(sim.Milliseconds(20))
+		c := pool.NewClient(sys.Node(1))
+		start := sp.Now()
+		c.Syscall(sp, "write", sim.Microseconds(100))
+		elapsed = sp.Now().Sub(start)
+	})
+	sys.RunFor(sim.Seconds(30))
+	sys.Shutdown()
+	if elapsed == 0 {
+		t.Fatal("worker never completed")
+	}
+	if elapsed > sim.Seconds(1) {
+		t.Fatalf("worker stalled %v behind another process's blocking call", elapsed)
+	}
+}

@@ -1,0 +1,264 @@
+package stub_test
+
+import (
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/stub"
+)
+
+// launch builds a system with one host and n nodes, launches the app
+// in the given mode, and returns the startup makespan in seconds.
+func launch(t *testing.T, n int, mode stub.Mode) (*core.System, *stub.App, float64) {
+	t.Helper()
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := stub.Launch(sys, sys.Host(0), sys.Nodes(), stub.DefaultImage(), mode, nil)
+	sys.RunFor(sim.Seconds(120))
+	if !app.Ready() {
+		t.Fatalf("app (%v) not started after 120 simulated seconds: %d/%d", mode, len(app.Procs), n)
+	}
+	return sys, app, app.StartedAt.Seconds()
+}
+
+func TestPerProcessDownload70TakesAbout12s(t *testing.T) {
+	// Paper §3.3: "it takes 12 seconds to download and initialize a
+	// process on each of 70 processors", dominated by host-
+	// centralized work.
+	sys, _, secs := launch(t, 70, stub.PerProcess)
+	if secs < 10.5 || secs > 13.5 {
+		t.Fatalf("per-process startup = %.2f s, paper reports ~12", secs)
+	}
+	sys.Shutdown()
+}
+
+func TestTreeDownload70TakesAboutTwoSeconds(t *testing.T) {
+	// Paper §3.3: "With this method, it takes only two seconds to
+	// download and start 70 processes."
+	sys, _, secs := launch(t, 70, stub.SharedTree)
+	if secs < 0.8 || secs > 3.2 {
+		t.Fatalf("tree startup = %.2f s, paper reports ~2", secs)
+	}
+	sys.Shutdown()
+}
+
+func TestTreeBeatsPerProcessByLargeFactor(t *testing.T) {
+	sysA, _, per := launch(t, 24, stub.PerProcess)
+	sysA.Shutdown()
+	sysB, _, tree := launch(t, 24, stub.SharedTree)
+	sysB.Shutdown()
+	if per/tree < 3 {
+		t.Fatalf("speedup only %.1fx (per=%.2fs tree=%.2fs)", per/tree, per, tree)
+	}
+}
+
+func TestSyscallForwarding(t *testing.T) {
+	sys, app, _ := launch(t, 2, stub.PerProcess)
+	done := false
+	p := app.Procs[0]
+	sys.Spawn(p.Node(), "app", 0, func(sp *kern.Subprocess) {
+		fd, err := p.Syscall(sp, "open", "/tmp/results", 0)
+		if err != nil || fd < 0 {
+			t.Errorf("open: fd=%d err=%v", fd, err)
+		}
+		if _, err := p.Syscall(sp, "write", "", sim.Microseconds(500)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		done = true
+	})
+	sys.RunFor(sim.Seconds(5))
+	if !done {
+		t.Fatal("syscalls did not complete")
+	}
+	if app.Stubs[0].Syscalls != 2 {
+		t.Fatalf("stub executed %d syscalls, want 2", app.Stubs[0].Syscalls)
+	}
+	sys.Shutdown()
+}
+
+func TestPerProcessStubsIsolateBlockingSyscalls(t *testing.T) {
+	// With one stub per process, a blocking call (read from the
+	// keyboard) on process 0 does not delay process 1's syscalls.
+	sys, app, _ := launch(t, 2, stub.PerProcess)
+	var elapsed sim.Duration
+	sys.Spawn(app.Procs[0].Node(), "blocker", 0, func(sp *kern.Subprocess) {
+		app.Procs[0].Syscall(sp, "block", "", sim.Seconds(30))
+	})
+	sys.Spawn(app.Procs[1].Node(), "worker", 0, func(sp *kern.Subprocess) {
+		sp.SleepFor(sim.Milliseconds(10)) // let the blocker get in first
+		start := sp.Now()
+		app.Procs[1].Syscall(sp, "write", "", sim.Microseconds(100))
+		elapsed = sp.Now().Sub(start)
+	})
+	sys.RunFor(sim.Seconds(5))
+	if elapsed == 0 {
+		t.Fatal("worker syscall never completed")
+	}
+	if elapsed > sim.Seconds(1) {
+		t.Fatalf("worker stalled %v behind an unrelated blocking call", elapsed)
+	}
+	sys.Shutdown()
+}
+
+func TestSharedStubBlockingSyscallStallsEveryone(t *testing.T) {
+	// §3.3: "if one of the processes issues a UNIX system call that
+	// blocks ... the stub does not process system calls from any of
+	// the other processes served by that stub until the original
+	// system call completes."
+	sys, app, _ := launch(t, 2, stub.SharedTree)
+	var elapsed sim.Duration
+	sys.Spawn(app.Procs[0].Node(), "blocker", 0, func(sp *kern.Subprocess) {
+		app.Procs[0].Syscall(sp, "block", "", sim.Seconds(3))
+	})
+	sys.Spawn(app.Procs[1].Node(), "worker", 0, func(sp *kern.Subprocess) {
+		sp.SleepFor(sim.Milliseconds(10))
+		start := sp.Now()
+		app.Procs[1].Syscall(sp, "write", "", sim.Microseconds(100))
+		elapsed = sp.Now().Sub(start)
+	})
+	sys.RunFor(sim.Seconds(30))
+	if elapsed == 0 {
+		t.Fatal("worker syscall never completed")
+	}
+	if elapsed < sim.Seconds(2.5) {
+		t.Fatalf("worker only waited %v — should have been stalled ~3s by the shared stub", elapsed)
+	}
+	sys.Shutdown()
+}
+
+func TestSharedStubFDLimitIsShared(t *testing.T) {
+	// §3.3: one shared stub means 32 open files for ALL processes of
+	// the application combined.
+	sys, app, _ := launch(t, 2, stub.SharedTree)
+	opened, failedAt := 0, -1
+	sys.Spawn(app.Procs[0].Node(), "opener0", 0, func(sp *kern.Subprocess) {
+		for i := 0; i < 20; i++ {
+			if fd, _ := app.Procs[0].Syscall(sp, "open", "f", 0); fd >= 0 {
+				opened++
+			}
+		}
+	})
+	sys.Spawn(app.Procs[1].Node(), "opener1", 0, func(sp *kern.Subprocess) {
+		sp.SleepFor(sim.Seconds(1)) // strictly after proc 0's opens
+		for i := 0; i < 20; i++ {
+			fd, err := app.Procs[1].Syscall(sp, "open", "f", 0)
+			if err != nil {
+				failedAt = opened
+				return
+			}
+			if fd >= 0 {
+				opened++
+			}
+		}
+	})
+	sys.RunFor(sim.Seconds(30))
+	if opened != 32 {
+		t.Fatalf("opened %d fds, want exactly 32 shared", opened)
+	}
+	if failedAt != 32 {
+		t.Fatalf("second process failed at %d, want 32", failedAt)
+	}
+	sys.Shutdown()
+}
+
+func TestPerProcessFDLimitIsPerProcess(t *testing.T) {
+	sys, app, _ := launch(t, 2, stub.PerProcess)
+	opened := 0
+	for pi := 0; pi < 2; pi++ {
+		pi := pi
+		sys.Spawn(app.Procs[pi].Node(), "opener", 0, func(sp *kern.Subprocess) {
+			for i := 0; i < 32; i++ {
+				if fd, err := app.Procs[pi].Syscall(sp, "open", "f", 0); err == nil && fd >= 0 {
+					opened++
+				}
+			}
+		})
+	}
+	sys.RunFor(sim.Seconds(60))
+	if opened != 64 {
+		t.Fatalf("opened %d fds, want 64 (32 per process)", opened)
+	}
+	sys.Shutdown()
+}
+
+func TestDownloadScalesLinearlyPerProcessButNotTree(t *testing.T) {
+	// The per-process cost grows ~linearly with N; the tree grows far
+	// slower (pipeline + log-depth).
+	sysA, _, per10 := launch(t, 10, stub.PerProcess)
+	sysA.Shutdown()
+	sysB, _, per40 := launch(t, 40, stub.PerProcess)
+	sysB.Shutdown()
+	ratioPer := per40 / per10
+	if ratioPer < 3.2 || ratioPer > 4.8 {
+		t.Fatalf("per-process scaling 10→40 nodes = %.2fx, want ~4x", ratioPer)
+	}
+	sysC, _, tree10 := launch(t, 10, stub.SharedTree)
+	sysC.Shutdown()
+	sysD, _, tree40 := launch(t, 40, stub.SharedTree)
+	sysD.Shutdown()
+	if ratioTree := tree40 / tree10; ratioTree > 2.0 {
+		t.Fatalf("tree scaling 10→40 nodes = %.2fx, should be far sublinear", ratioTree)
+	}
+}
+
+func TestLaunchTreeCustomFanout(t *testing.T) {
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := stub.LaunchTree(sys, sys.Host(0), sys.Nodes(), stub.Image{Bytes: 64 * 1024}, 3, nil)
+	sys.RunFor(sim.Seconds(60))
+	if !app.Ready() {
+		t.Fatal("fanout-3 tree did not complete")
+	}
+	sys.Shutdown()
+}
+
+func TestModeString(t *testing.T) {
+	if stub.PerProcess.String() != "per-process" || stub.SharedTree.String() != "shared-tree" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestSyscallBeforeStartFails(t *testing.T) {
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := stub.Launch(sys, sys.Host(0), sys.Nodes(), stub.Image{Bytes: 1024}, stub.PerProcess, nil)
+	// Do not run the simulation: the process has not started.
+	sys.Spawn(sys.Node(0), "early", 0, func(sp *kern.Subprocess) {
+		if _, err := app.Procs[0].Syscall(sp, "write", "", 0); err == nil {
+			t.Error("syscall before start should fail")
+		}
+	})
+	sys.RunFor(sim.Milliseconds(1))
+	sys.Shutdown()
+}
+
+func TestCloseSyscall(t *testing.T) {
+	sys, app, _ := launch(t, 1, stub.PerProcess)
+	sys.Spawn(app.Procs[0].Node(), "app", 0, func(sp *kern.Subprocess) {
+		fd, err := app.Procs[0].Syscall(sp, "open", "/tmp/x", 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := app.Procs[0].Syscall(sp, "close", "", sim.Duration(fd)); err != nil {
+			t.Error(err)
+		}
+		// The slot is reusable: 32 more opens all succeed.
+		for i := 0; i < 31; i++ {
+			if _, err := app.Procs[0].Syscall(sp, "open", "f", 0); err != nil {
+				t.Errorf("open %d after close: %v", i, err)
+				return
+			}
+		}
+	})
+	sys.RunFor(sim.Seconds(10))
+	sys.Shutdown()
+}

@@ -1,0 +1,230 @@
+package topo
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleCluster(t *testing.T) {
+	tp, err := SingleCluster(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Clusters() != 1 || tp.Endpoints() != 12 || tp.Dimension() != 0 {
+		t.Fatalf("bad topology: %v", tp)
+	}
+	for e := 0; e < 12; e++ {
+		a := tp.AttachmentOf(EndpointID(e))
+		if a.Cluster != 0 || a.Port != e {
+			t.Errorf("endpoint %d attachment = %+v", e, a)
+		}
+	}
+	if got := tp.Hops(0, 11); got != 0 {
+		t.Errorf("hops within cluster = %d", got)
+	}
+}
+
+func TestSingleClusterBounds(t *testing.T) {
+	if _, err := SingleCluster(0); err == nil {
+		t.Error("0 endpoints should fail")
+	}
+	if _, err := SingleCluster(13); err == nil {
+		t.Error("13 endpoints should fail")
+	}
+}
+
+func TestPaperConstruction1024Nodes(t *testing.T) {
+	// Paper §1: "A hypercube-based system with 1024 nodes can be
+	// built with 256 clusters by using 8 of the 12 ports on each
+	// cluster for connections to other clusters and the other four
+	// for connections to processing nodes."
+	tp, err := IncompleteHypercube(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Endpoints() != 1024 {
+		t.Fatalf("endpoints = %d, want 1024", tp.Endpoints())
+	}
+	if tp.Dimension() != 8 {
+		t.Fatalf("dimension = %d, want 8", tp.Dimension())
+	}
+	if tp.Diameter() != 8 {
+		t.Fatalf("diameter = %d, want 8", tp.Diameter())
+	}
+	for c := 0; c < 256; c++ {
+		if used := tp.PortsUsed(ClusterID(c)); used != 12 {
+			t.Fatalf("cluster %d uses %d ports, want 12", c, used)
+		}
+	}
+}
+
+func TestPortOverflowRejected(t *testing.T) {
+	// dim(256)=8, so 5 endpoints/cluster needs 13 ports.
+	if _, err := IncompleteHypercube(256, 5); err == nil {
+		t.Fatal("expected port overflow error")
+	}
+}
+
+func TestDimFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 256: 8, 257: 9}
+	for n, want := range cases {
+		if got := dimFor(n); got != want {
+			t.Errorf("dimFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNeighborsIncomplete(t *testing.T) {
+	tp, err := IncompleteHypercube(5, 1) // clusters 0..4, dim 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 4 (100) has cube neighbors 101,110 missing; only 000.
+	n := tp.Neighbors(4)
+	if len(n) != 1 || n[0] != 0 {
+		t.Fatalf("neighbors(4) = %v, want [0]", n)
+	}
+	// Cluster 0 has neighbors 1, 2, 4.
+	n = tp.Neighbors(0)
+	if len(n) != 3 || n[0] != 1 || n[1] != 2 || n[2] != 4 {
+		t.Fatalf("neighbors(0) = %v", n)
+	}
+}
+
+func TestHasLink(t *testing.T) {
+	tp, _ := IncompleteHypercube(6, 1)
+	if !tp.HasLink(0, 4) || !tp.HasLink(4, 5) || !tp.HasLink(1, 3) {
+		t.Error("expected cube links missing")
+	}
+	if tp.HasLink(1, 2) || tp.HasLink(3, 3) || tp.HasLink(0, 7) || tp.HasLink(-1, 0) {
+		t.Error("unexpected link reported")
+	}
+}
+
+func TestClusterRouteUpAndDown(t *testing.T) {
+	tp, _ := IncompleteHypercube(5, 1) // 0..4, dim 3
+	// 1 (001) -> 4 (100): clear bit0, set bit2: 001 -> 000 -> 100.
+	r := tp.ClusterRoute(1, 4)
+	want := []ClusterID{1, 0, 4}
+	if len(r) != len(want) {
+		t.Fatalf("route = %v, want %v", r, want)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("route = %v, want %v", r, want)
+		}
+	}
+	// 4 -> 3: clear bit2, then set bits 0,1: 100 -> 000 -> 001 -> 011.
+	r = tp.ClusterRoute(4, 3)
+	want = []ClusterID{4, 0, 1, 3}
+	if len(r) != len(want) {
+		t.Fatalf("route = %v, want %v", r, want)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("route = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRouteEndpointLevel(t *testing.T) {
+	tp, _ := IncompleteHypercube(4, 2)
+	// endpoints 0,1 on cluster 0; 6,7 on cluster 3.
+	r := tp.Route(0, 7)
+	if r[0] != 0 || r[len(r)-1] != 3 {
+		t.Fatalf("route = %v", r)
+	}
+	if tp.Hops(0, 7) != 2 {
+		t.Fatalf("hops = %d, want 2", tp.Hops(0, 7))
+	}
+	if tp.Hops(0, 1) != 0 {
+		t.Fatalf("same-cluster hops = %d", tp.Hops(0, 1))
+	}
+}
+
+// Property: in any incomplete hypercube, every route (a) starts and
+// ends correctly, (b) uses only existing clusters, (c) only traverses
+// real cube links, and (d) has length equal to Hamming distance + 1.
+func TestRouteValidityProperty(t *testing.T) {
+	f := func(nRaw uint8, aRaw, bRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		tp, err := IncompleteHypercube(n, 1)
+		if err != nil {
+			return false
+		}
+		a := ClusterID(int(aRaw) % n)
+		b := ClusterID(int(bRaw) % n)
+		r := tp.ClusterRoute(a, b)
+		if r[0] != a || r[len(r)-1] != b {
+			return false
+		}
+		if len(r) != bits.OnesCount(uint(a)^uint(b))+1 {
+			return false
+		}
+		for i, c := range r {
+			if int(c) < 0 || int(c) >= n {
+				return false
+			}
+			if i > 0 && !tp.HasLink(r[i-1], c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the diameter of an incomplete hypercube never exceeds its
+// dimension.
+func TestDiameterBoundProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		tp, err := IncompleteHypercube(n, 1)
+		if err != nil {
+			return false
+		}
+		return tp.Diameter() <= tp.Dimension()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	tp, _ := SingleCluster(3)
+	if tp.String() != "HPC: 1 cluster, 3 endpoints" {
+		t.Errorf("got %q", tp.String())
+	}
+	tp, _ = IncompleteHypercube(256, 4)
+	want := "HPC: 256 clusters (dim-8 incomplete hypercube), 1024 endpoints, diameter 8"
+	if tp.String() != want {
+		t.Errorf("got %q, want %q", tp.String(), want)
+	}
+}
+
+func TestAvgHopsAndCubeLinks(t *testing.T) {
+	tp, _ := IncompleteHypercube(4, 1) // complete 2-cube
+	// Distances: 1,1,2 per vertex pattern; avg = (8*1+4*2)/12 = 4/3.
+	if got := tp.AvgHops(); got < 1.32 || got > 1.35 {
+		t.Fatalf("avg hops = %f", got)
+	}
+	if got := tp.CubeLinks(); got != 4 {
+		t.Fatalf("cube links = %d, want 4", got)
+	}
+	single, _ := SingleCluster(3)
+	if single.AvgHops() != 0 || single.CubeLinks() != 0 {
+		t.Fatal("single cluster should have no cube structure")
+	}
+	big, _ := IncompleteHypercube(256, 4)
+	// Complete 8-cube: average Hamming distance = 4 * 256/255.
+	want := 4.0 * 256 / 255
+	if got := big.AvgHops(); got < want-0.01 || got > want+0.01 {
+		t.Fatalf("256-cluster avg hops = %f, want %f", got, want)
+	}
+	if got := big.CubeLinks(); got != 256*8/2 {
+		t.Fatalf("256-cluster links = %d, want 1024", got)
+	}
+}

@@ -1,0 +1,18 @@
+package vorxbench
+
+import (
+	"testing"
+)
+
+func TestSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	for _, id := range IDs() {
+		tb := ByID(id)
+		if tb == nil {
+			t.Fatalf("missing experiment %s", id)
+		}
+		t.Logf("\n%s", tb.String())
+	}
+}

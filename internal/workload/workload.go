@@ -1,0 +1,145 @@
+// Package workload provides reusable traffic generators for the
+// benchmark harness: channel ping-pong, many-to-one bursts, and the
+// channel-open storm that exposes the Meglos resource-manager
+// bottleneck (paper §3.2).
+package workload
+
+import (
+	"fmt"
+
+	"hpcvorx/internal/channels"
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/sim"
+)
+
+// ChannelLatency measures the paper's channel benchmark: `rounds`
+// writes of `size` bytes from node a to node b over one channel,
+// returning µs per message.
+func ChannelLatency(sys *core.System, a, b *core.Machine, size, rounds int) float64 {
+	var start, end sim.Time
+	name := fmt.Sprintf("wl.lat.%d.%d.%d", a.EP, b.EP, size)
+	sys.Spawn(a, "wl-writer", 0, func(sp *kern.Subprocess) {
+		ch := a.Chans.Open(sp, name, objmgr.OpenAny)
+		start = sp.Now()
+		for i := 0; i < rounds; i++ {
+			if err := ch.Write(sp, size, nil); err != nil {
+				panic(err)
+			}
+		}
+		end = sp.Now()
+	})
+	sys.Spawn(b, "wl-reader", 0, func(sp *kern.Subprocess) {
+		ch := b.Chans.Open(sp, name, objmgr.OpenAny)
+		for i := 0; i < rounds; i++ {
+			if _, ok := ch.Read(sp); !ok {
+				panic("wl: read failed")
+			}
+		}
+	})
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	return end.Sub(start).Microseconds() / float64(rounds)
+}
+
+// OpenStormResult reports a rendezvous storm.
+type OpenStormResult struct {
+	Elapsed sim.Duration
+	// Opens is the total number of opens performed.
+	Opens int
+	// MaxPerManager is the largest share any single manager handled.
+	MaxPerManager int
+	// Managers is the manager count.
+	Managers int
+}
+
+// OpenStorm has every processing-node pair (2i, 2i+1) open
+// `opensPerPair` channels simultaneously — the application-startup
+// pattern whose opens all funneled through Meglos's single host
+// manager. Build the system with CentralizedManager true or false to
+// compare.
+func OpenStorm(sys *core.System, opensPerPair int) OpenStormResult {
+	nodes := sys.Nodes()
+	pairs := len(nodes) / 2
+	var start, end sim.Time
+	first := true
+	for pr := 0; pr < pairs; pr++ {
+		for side := 0; side < 2; side++ {
+			m := nodes[2*pr+side]
+			pr := pr
+			sys.Spawn(m, fmt.Sprintf("storm%d.%d", pr, side), 0, func(sp *kern.Subprocess) {
+				if first {
+					first = false
+					start = sp.Now()
+				}
+				for i := 0; i < opensPerPair; i++ {
+					ch := m.Chans.Open(sp, fmt.Sprintf("storm.%d.%d", pr, i), objmgr.OpenAny)
+					_ = ch
+				}
+				if sp.Now() > end {
+					end = sp.Now()
+				}
+			})
+		}
+	}
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	res := OpenStormResult{
+		Elapsed:  end.Sub(start),
+		Opens:    2 * pairs * opensPerPair,
+		Managers: len(sys.Mgr.Managers()),
+	}
+	for _, ep := range sys.Mgr.Managers() {
+		if n := sys.Mgr.Processed(ep); n > res.MaxPerManager {
+			res.MaxPerManager = n
+		}
+	}
+	return res
+}
+
+// ManyToOne has every node except the first write `msgs` messages of
+// `size` bytes to node 0 over channels; returns the makespan.
+func ManyToOne(sys *core.System, size, msgs int) sim.Duration {
+	nodes := sys.Nodes()
+	if len(nodes) < 2 {
+		panic("wl: many-to-one needs at least 2 nodes")
+	}
+	var start, end sim.Time
+	started := false
+	senders := len(nodes) - 1
+	sys.Spawn(nodes[0], "sink", 0, func(sp *kern.Subprocess) {
+		var chs []*channels.Channel
+		for i := 1; i <= senders; i++ {
+			chs = append(chs, nodes[0].Chans.Open(sp, fmt.Sprintf("m2o.%d", i), objmgr.OpenAny))
+		}
+		// Round-robin reads keep all senders flowing.
+		for n := 0; n < senders*msgs; n++ {
+			if _, ok := chs[n%senders].Read(sp); !ok {
+				panic("wl: sink read failed")
+			}
+		}
+		end = sp.Now()
+	})
+	for i := 1; i <= senders; i++ {
+		i := i
+		sys.Spawn(nodes[i], fmt.Sprintf("src%d", i), 0, func(sp *kern.Subprocess) {
+			ch := nodes[i].Chans.Open(sp, fmt.Sprintf("m2o.%d", i), objmgr.OpenAny)
+			if !started {
+				started = true
+				start = sp.Now()
+			}
+			for m := 0; m < msgs; m++ {
+				if err := ch.Write(sp, size, nil); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	return end.Sub(start)
+}

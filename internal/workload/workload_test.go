@@ -1,0 +1,63 @@
+package workload_test
+
+import (
+	"testing"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/workload"
+)
+
+func TestChannelLatencyMatchesTable2(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := workload.ChannelLatency(sys, sys.Node(0), sys.Node(1), 4, 500)
+	if us < 295 || us > 311 {
+		t.Fatalf("latency = %.1f, want ~303", us)
+	}
+}
+
+func TestOpenStormDistributionSpread(t *testing.T) {
+	sysC, err := core.Build(core.Config{Hosts: 1, Nodes: 8, CentralizedManager: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC := workload.OpenStorm(sysC, 4)
+	if resC.Opens != 32 || resC.Managers != 1 || resC.MaxPerManager != 32 {
+		t.Fatalf("centralized = %+v", resC)
+	}
+
+	sysD, err := core.Build(core.Config{Hosts: 1, Nodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD := workload.OpenStorm(sysD, 4)
+	if resD.Managers != 8 {
+		t.Fatalf("distributed managers = %d", resD.Managers)
+	}
+	if resD.MaxPerManager >= resC.MaxPerManager/2 {
+		t.Fatalf("distributed max share %d not clearly below centralized %d",
+			resD.MaxPerManager, resC.MaxPerManager)
+	}
+	if resD.Elapsed >= resC.Elapsed {
+		t.Fatalf("distributed storm (%v) should beat centralized (%v)", resD.Elapsed, resC.Elapsed)
+	}
+}
+
+func TestManyToOneDeliversEverything(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := workload.ManyToOne(sys, 500, 8)
+	if mk <= 0 {
+		t.Fatalf("makespan = %v", mk)
+	}
+	// 4 senders × 8 messages with ~0.7ms serialized receiver work
+	// each: the makespan is bounded.
+	if mk > sim.Seconds(1) {
+		t.Fatalf("makespan %v absurdly long", mk)
+	}
+}
