@@ -14,9 +14,15 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"hpcvorx/internal/core"
+	"hpcvorx/internal/dfs"
+	"hpcvorx/internal/fault"
+	"hpcvorx/internal/kern"
 	"hpcvorx/internal/netif"
+	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/resmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/stub"
 	"hpcvorx/internal/topo"
@@ -34,6 +40,7 @@ commands:
   alloc     demonstrate the allocation policies (paper §3.1)
   links     run an all-to-one workload and show the hottest links
   trace     run a mixed workload and print the message-trace summary
+  chaos     replay a fault schedule and print the recovery report
 `)
 	os.Exit(2)
 }
@@ -55,6 +62,8 @@ func main() {
 		cmdLinks(os.Args[2:])
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "chaos":
+		cmdChaos(os.Args[2:])
 	default:
 		usage()
 	}
@@ -156,6 +165,139 @@ func cmdTrace(args []string) {
 	res := workload.OpenStorm(sys, 3)
 	fmt.Printf("workload done (storm of %d opens included)\n\n", res.Opens)
 	mt.Summarize(os.Stdout)
+}
+
+// demoSchedule is the built-in fault schedule replayed when no
+// -schedule file is given: a cube-link outage with repair, plus a node
+// crash with a later cold restart.
+const demoSchedule = `# built-in demo storm
+1ms   link-down 0 2
+8ms   link-up 0 2
+2ms   crash node6
+12ms  restart node6
+`
+
+func cmdChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	hosts := fs.Int("hosts", 2, "host workstations")
+	nodes := fs.Int("nodes", 14, "processing nodes")
+	seed := fs.Int64("seed", 1, "fault-engine seed")
+	msgs := fs.Int("msgs", 24, "messages per channel pair")
+	schedFile := fs.String("schedule", "", "fault schedule file (default: built-in demo)")
+	fs.Parse(args)
+
+	text := demoSchedule
+	if *schedFile != "" {
+		b, err := os.ReadFile(*schedFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+		text = string(b)
+	}
+	ops, err := fault.ParseSchedule(strings.NewReader(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+
+	sys, err := core.Build(core.Config{Hosts: *hosts, Nodes: *nodes, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	res := resmgr.NewVORX(sys.K, *nodes)
+	if _, err := res.Allocate("alice", *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	eng := fault.New(sys.K, *seed)
+	eng.Bind(sys)
+	eng.BindResmgr(res)
+	if *hosts > 0 {
+		replicas := 2
+		if *hosts < replicas {
+			replicas = *hosts
+		}
+		eng.BindDFS(dfs.New(sys, sys.Hosts(), replicas))
+	}
+	if err := eng.Apply(ops); err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+
+	// Traffic: every node in the first half streams to a partner in the
+	// second half, so the schedule's faults hit live channels.
+	npairs := *nodes / 2
+	recv := make([]int, npairs)
+	werrs := make([]error, npairs)
+	for pi := 0; pi < npairs; pi++ {
+		pi := pi
+		name := fmt.Sprintf("chaos%d", pi)
+		wm, rm := sys.Node(pi), sys.Node(pi+npairs)
+		sys.Spawn(wm, "writer", 0, func(sp *kern.Subprocess) {
+			ch := wm.Chans.Open(sp, name, objmgr.OpenAny)
+			for i := 0; i < *msgs; i++ {
+				if err := ch.Write(sp, 256, i); err != nil {
+					werrs[pi] = err
+					return
+				}
+			}
+		})
+		sys.Spawn(rm, "reader", 0, func(sp *kern.Subprocess) {
+			ch := rm.Chans.Open(sp, name, objmgr.OpenAny)
+			for i := 0; i < *msgs; i++ {
+				if _, ok := ch.Read(sp); !ok {
+					return
+				}
+				recv[pi]++
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("chaos on %d hosts + %d nodes, seed %d, %d channel pairs x %d messages\n\n",
+		*hosts, *nodes, *seed, npairs, *msgs)
+	eng.Report(os.Stdout)
+	fmt.Println("\nrecovery report:")
+	clean := 0
+	for pi := 0; pi < npairs; pi++ {
+		switch {
+		case werrs[pi] != nil:
+			fmt.Printf("  pair %d (node%d->node%d): %d/%d delivered, writer error: %v\n",
+				pi, pi, pi+npairs, recv[pi], *msgs, werrs[pi])
+		case recv[pi] != *msgs:
+			fmt.Printf("  pair %d (node%d->node%d): %d/%d delivered, reader saw peer death\n",
+				pi, pi, pi+npairs, recv[pi], *msgs)
+		default:
+			clean++
+		}
+	}
+	fmt.Printf("  %d/%d pairs delivered all %d messages exactly once\n", clean, npairs, *msgs)
+	st := sys.IC.Stats()
+	fmt.Printf("  interconnect: %d messages delivered, %d rerouted around failed links, %d cube links still down\n",
+		st.MessagesDelivered, st.Reroutes, sys.IC.DownCubeLinks())
+	retrans, deaths := 0, 0
+	for _, m := range sys.Machines() {
+		retrans += m.Chans.TimeoutRetransmits
+		deaths += m.Chans.PeerDeaths
+	}
+	fmt.Printf("  channels: %d timeout retransmits, %d peer-death failures\n", retrans, deaths)
+	fmt.Printf("  resmgr: %d force-frees", res.ForceFrees)
+	freed := []string{}
+	for i := 0; i < *nodes; i++ {
+		if res.OwnerOf(resmgr.NodeID(i)) == "" {
+			freed = append(freed, fmt.Sprintf("node%d", i))
+		}
+	}
+	if len(freed) > 0 {
+		fmt.Printf(" (reclaimed: %s)", strings.Join(freed, " "))
+	}
+	fmt.Println()
+	fmt.Printf("  virtual time at quiesce: %v\n", sys.K.Now())
 }
 
 func cmdDownload(args []string) {

@@ -23,6 +23,7 @@ package channels
 
 import (
 	"fmt"
+	"sort"
 
 	"hpcvorx/internal/hpc"
 	"hpcvorx/internal/kern"
@@ -68,12 +69,26 @@ type Service struct {
 	// arrival order.
 	starved []starveRec
 
+	// End-to-end recovery. The base protocol's acks are flow control,
+	// not fault tolerance: the HPC never drops, so no timeout was
+	// needed. Under fault injection (message loss, peer crash) a write
+	// can wait forever, so an optional end-to-end timeout retransmits
+	// unacknowledged writes and, after maxRetries, declares the peer
+	// dead. Zero (the default) keeps the original timerless behaviour.
+	ackTimeout sim.Duration
+	maxRetries int
+
 	// Stats.
 	Written      int
 	Delivered    int
 	Busies       int
 	Retransmits  int
 	BytesWritten int64
+	// TimeoutRetransmits counts writes re-sent by the end-to-end
+	// timeout; PeerDeaths counts channel ends failed by retry
+	// exhaustion or PeerDown.
+	TimeoutRetransmits int
+	PeerDeaths         int
 }
 
 // wire message bodies
@@ -162,6 +177,38 @@ func (s *Service) SetSideBuffers(n int) {
 // SideBuffersFree returns the current side-buffer pool headroom.
 func (s *Service) SideBuffersFree() int { return s.sideBufFree }
 
+// SetAckTimeout enables the end-to-end timeout: a write unacknowledged
+// after d is retransmitted, and after maxRetries retransmissions the
+// peer is declared dead — every channel to it fails with an error
+// instead of hanging. d <= 0 disables (the default); maxRetries <= 0
+// retries forever.
+func (s *Service) SetAckTimeout(d sim.Duration, maxRetries int) {
+	s.ackTimeout = d
+	s.maxRetries = maxRetries
+}
+
+// PeerDown fails every open channel to endpoint ep: blocked readers
+// and writers get an error return, pending timers stop. Called by the
+// fault engine when a node is known crashed (the §3.1 policy: tell the
+// survivors instead of letting them hang). Returns the number of
+// channel ends failed.
+func (s *Service) PeerDown(ep topo.EndpointID) int {
+	ids := make([]uint64, 0, len(s.chans))
+	for id := range s.chans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n := 0
+	for _, id := range ids {
+		ch := s.chans[id]
+		if ch.peer == ep && !ch.closedRemote {
+			s.failPeer(ch)
+			n++
+		}
+	}
+	return n
+}
+
 // Channel is one end of a VORX channel.
 type Channel struct {
 	svc  *Service
@@ -207,6 +254,8 @@ type outMsg struct {
 	seq     int
 	size    int
 	payload any
+	timer   sim.Timer // end-to-end ack timeout (zero when disabled)
+	tries   int       // timeout retransmissions so far
 }
 
 // SetWindow sets the channel end's write window (>=1). Call before
@@ -269,7 +318,11 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 	om := &outMsg{seq: ch.sendSeq, size: size, payload: payload}
 	ch.sendSeq++
 	ch.pending = append(ch.pending, om)
-	ch.sendFragments(sp, om, false)
+	if err := ch.sendFragments(sp, om, false); err != nil {
+		ch.dropPending(om)
+		return fmt.Errorf("channels: write on %q: %w", ch.name, err)
+	}
+	ch.svc.armTimer(ch, om)
 	for len(ch.pending) >= ch.window && !ch.closedRemote {
 		ch.writerWake = sp.Block(kern.WaitOutput, fmt.Sprintf("chan-write %s", ch.name))
 		sp.BlockNow()
@@ -286,8 +339,9 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 
 // sendFragments pushes the write onto the wire in hardware-sized
 // fragments. The subprocess blocks per fragment only on hardware
-// output-section backpressure.
-func (ch *Channel) sendFragments(sp *kern.Subprocess, om *outMsg, retrans bool) {
+// output-section backpressure. An error (destination unreachable)
+// aborts the remaining fragments.
+func (ch *Channel) sendFragments(sp *kern.Subprocess, om *outMsg, retrans bool) error {
 	for off := 0; off < om.size; off += MaxFragment {
 		n := om.size - off
 		if n > MaxFragment {
@@ -299,9 +353,97 @@ func (ch *Channel) sendFragments(sp *kern.Subprocess, om *outMsg, retrans bool) 
 			frag.payload = om.payload
 		}
 		if err := ch.svc.f.Send(sp, ch.peer, "chan", n+HeaderBytes, frag); err != nil {
-			panic(fmt.Sprintf("channels: fragment send: %v", err))
+			return err
 		}
 	}
+	return nil
+}
+
+// dropPending removes om from the un-acknowledged list.
+func (ch *Channel) dropPending(om *outMsg) {
+	for i, p := range ch.pending {
+		if p == om {
+			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// armTimer (re)starts om's end-to-end ack timeout, if enabled.
+func (s *Service) armTimer(ch *Channel, om *outMsg) {
+	if s.ackTimeout <= 0 {
+		return
+	}
+	om.timer.Stop()
+	om.timer = s.f.Node().Kernel().After(s.ackTimeout, func() { s.timeoutFire(ch, om) })
+}
+
+// timeoutFire handles an expired ack timeout: retransmit the write, or
+// after maxRetries declare the peer dead.
+func (s *Service) timeoutFire(ch *Channel, om *outMsg) {
+	if ch.pendingBySeq(om.seq) != om || ch.closedRemote || s.f.Node().Crashed() {
+		return
+	}
+	om.tries++
+	if s.maxRetries > 0 && om.tries > s.maxRetries {
+		s.failPeer(ch)
+		return
+	}
+	s.TimeoutRetransmits++
+	s.retransmitAsync(ch, om)
+	s.armTimer(ch, om)
+}
+
+// retransmitAsync re-sends every fragment of om from the kernel (the
+// writing process is still blocked, so its buffer is intact).
+func (s *Service) retransmitAsync(ch *Channel, om *outMsg) {
+	for off := 0; off < om.size; off += MaxFragment {
+		n := om.size - off
+		if n > MaxFragment {
+			n = MaxFragment
+		}
+		last := off+n >= om.size
+		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: true}
+		if last {
+			frag.payload = om.payload
+		}
+		s.f.SendAsync(ch.peer, "chan", n+HeaderBytes, frag, nil)
+	}
+}
+
+// remoteGone marks the remote end gone (graceful close or death) and
+// fails every blocked operation on the channel.
+func (ch *Channel) remoteGone() {
+	ch.closedRemote = true
+	for _, om := range ch.pending {
+		om.timer.Stop()
+	}
+	if ch.reader != nil {
+		r := ch.reader
+		ch.reader = nil
+		r.ok = false
+		r.wake()
+	}
+	if ch.writerWake != nil {
+		w := ch.writerWake
+		ch.writerWake = nil
+		w()
+	}
+	if mx := ch.mux; mx != nil && mx.waiting {
+		mx.waiting = false
+		mx.wake()
+	}
+}
+
+// failPeer declares ch's peer dead: the channel fails as if the peer
+// had closed it, so blocked readers and writers get an error return
+// instead of a hang.
+func (s *Service) failPeer(ch *Channel) {
+	if ch.closedRemote {
+		return
+	}
+	s.PeerDeaths++
+	ch.remoteGone()
 }
 
 // pendingBySeq finds an un-acknowledged write.
@@ -474,6 +616,7 @@ func (s *Service) handleAck(m *hpc.Message) {
 	}
 	for i, om := range ch.pending {
 		if om.seq == a.seq {
+			om.timer.Stop()
 			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
 			break
 		}
@@ -507,40 +650,19 @@ func (s *Service) handleResume(m *hpc.Message) {
 		return
 	}
 	// Asynchronous kernel-level retransmission of each fragment.
-	for off := 0; off < pw.size; off += MaxFragment {
-		n := pw.size - off
-		if n > MaxFragment {
-			n = MaxFragment
-		}
-		last := off+n >= pw.size
-		frag := dataFrag{ch: ch.id, seq: pw.seq, size: n, total: pw.size, last: last, retransmit: true}
-		if last {
-			frag.payload = pw.payload
-		}
-		s.f.SendAsync(ch.peer, "chan", n+HeaderBytes, frag, nil)
-	}
+	s.retransmitAsync(ch, pw)
+	s.armTimer(ch, pw)
 }
 
 // handleClose marks the remote end closed and fails any blocked
-// reader or writer.
+// reader, writer, or mux waiter.
 func (s *Service) handleClose(m *hpc.Message) {
 	cm := m.Payload.(netif.Envelope).Body.(closeMsg)
 	ch := s.chans[cm.ch]
 	if ch == nil {
 		return
 	}
-	ch.closedRemote = true
-	if ch.reader != nil {
-		r := ch.reader
-		ch.reader = nil
-		r.ok = false
-		r.wake()
-	}
-	if ch.writerWake != nil {
-		w := ch.writerWake
-		ch.writerWake = nil
-		w()
-	}
+	ch.remoteGone()
 }
 
 // Close tears the channel down and notifies the peer. Reads of

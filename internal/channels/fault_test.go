@@ -1,0 +1,147 @@
+package channels_test
+
+import (
+	"testing"
+
+	"hpcvorx/internal/channels"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/sim"
+)
+
+// TestTimeoutRetransmitRecoversFromOutage: a write issued while the
+// receiving node is down is recovered by the end-to-end timeout once
+// the node restarts, and the receiver delivers it exactly once.
+func TestTimeoutRetransmitRecoversFromOutage(t *testing.T) {
+	sys := build(t, 2)
+	w, r := sys.Node(0), sys.Node(1)
+	w.Chans.SetAckTimeout(2*sim.Millisecond, 10)
+	var writeErr error
+	sys.Spawn(w, "writer", 0, func(sp *kern.Subprocess) {
+		ch := w.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		if err := ch.Write(sp, 100, "m0"); err != nil {
+			t.Error(err)
+			return
+		}
+		sp.SleepFor(10 * sim.Millisecond) // outage happens here
+		writeErr = ch.Write(sp, 100, "m1")
+	})
+	sys.Spawn(r, "reader", 0, func(sp *kern.Subprocess) {
+		ch := r.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		ch.Read(sp)
+	})
+	sys.K.At(sim.Time(6*sim.Millisecond), func() { r.Kern.Crash() })
+	sys.K.At(sim.Time(13*sim.Millisecond), func() { r.Kern.Restart() })
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if writeErr != nil {
+		t.Fatalf("write across outage should recover, got %v", writeErr)
+	}
+	if w.Chans.TimeoutRetransmits == 0 {
+		t.Fatal("recovery must have used the end-to-end timeout")
+	}
+	if r.Chans.Delivered != 2 {
+		t.Fatalf("receiver delivered %d messages, want exactly 2", r.Chans.Delivered)
+	}
+}
+
+// TestPeerDeathAfterRetriesFailsWrite: when the peer stays dead, retry
+// exhaustion turns the blocked write into an error, not a hang.
+func TestPeerDeathAfterRetriesFailsWrite(t *testing.T) {
+	sys := build(t, 2)
+	w, r := sys.Node(0), sys.Node(1)
+	w.Chans.SetAckTimeout(1*sim.Millisecond, 3)
+	var writeErr error
+	done := false
+	sys.Spawn(w, "writer", 0, func(sp *kern.Subprocess) {
+		ch := w.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		if err := ch.Write(sp, 100, "m0"); err != nil {
+			t.Error(err)
+			return
+		}
+		sp.SleepFor(10 * sim.Millisecond)
+		writeErr = ch.Write(sp, 100, "m1") // peer is dead by now
+		done = true
+	})
+	sys.Spawn(r, "reader", 0, func(sp *kern.Subprocess) {
+		ch := r.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		ch.Read(sp)
+	})
+	sys.K.At(sim.Time(6*sim.Millisecond), func() { r.Kern.Crash() })
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("writer never unblocked")
+	}
+	if writeErr == nil {
+		t.Fatal("write to a dead peer must fail after retries")
+	}
+	if w.Chans.PeerDeaths != 1 {
+		t.Fatalf("PeerDeaths = %d, want 1", w.Chans.PeerDeaths)
+	}
+	if w.Chans.TimeoutRetransmits != 3 {
+		t.Fatalf("TimeoutRetransmits = %d, want 3 (maxRetries)", w.Chans.TimeoutRetransmits)
+	}
+}
+
+// TestPeerDownFailsBlockedReader: the fault engine's PeerDown fails a
+// blocked Read with ok=false instead of leaving it hung.
+func TestPeerDownFailsBlockedReader(t *testing.T) {
+	sys := build(t, 2)
+	w, r := sys.Node(0), sys.Node(1)
+	readReturned, readOK := false, true
+	sys.Spawn(w, "writer", 0, func(sp *kern.Subprocess) {
+		w.Chans.Open(sp, "pipe", objmgr.OpenAny)
+	})
+	sys.Spawn(r, "reader", 0, func(sp *kern.Subprocess) {
+		ch := r.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		_, readOK = ch.Read(sp)
+		readReturned = true
+	})
+	sys.K.At(sim.Time(5*sim.Millisecond), func() {
+		if n := r.Chans.PeerDown(w.EP); n != 1 {
+			t.Errorf("PeerDown failed %d ends, want 1", n)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !readReturned {
+		t.Fatal("reader never unblocked")
+	}
+	if readOK {
+		t.Fatal("read from a dead peer must return ok=false")
+	}
+	if r.Chans.PeerDeaths != 1 {
+		t.Fatalf("PeerDeaths = %d, want 1", r.Chans.PeerDeaths)
+	}
+}
+
+// TestCloseWakesMuxReader: a peer close reaches a multiplexed reader
+// too (it used to wake only plain readers and writers).
+func TestCloseWakesMuxReader(t *testing.T) {
+	sys := build(t, 2)
+	w, r := sys.Node(0), sys.Node(1)
+	muxReturned, muxOK := false, true
+	sys.Spawn(w, "writer", 0, func(sp *kern.Subprocess) {
+		ch := w.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		sp.SleepFor(2 * sim.Millisecond) // let the mux reader block first
+		ch.Close(sp)
+	})
+	sys.Spawn(r, "reader", 0, func(sp *kern.Subprocess) {
+		ch := r.Chans.Open(sp, "pipe", objmgr.OpenAny)
+		_, _, muxOK = channels.MuxRead(sp, ch)
+		muxReturned = true
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !muxReturned {
+		t.Fatal("mux reader never unblocked")
+	}
+	if muxOK {
+		t.Fatal("mux read after peer close must return ok=false")
+	}
+}

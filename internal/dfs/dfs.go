@@ -172,6 +172,9 @@ func (s *Service) ReplicaHosts(name string) []int {
 // — the failure-injection hook.
 func (s *Service) SetDown(host int, down bool) { s.down[host] = down }
 
+// NumHosts returns how many hosts run a file server.
+func (s *Service) NumHosts() int { return len(s.hosts) }
+
 // StoredOn reports the file's size on a specific host replica, and
 // whether it exists there.
 func (s *Service) StoredOn(host int, name string) (int, bool) {
@@ -225,14 +228,16 @@ func (c *Client) Append(sp *kern.Subprocess, name string, data []byte) error {
 
 // writeAll issues the mutation to all replicas; it fails if any live
 // replica rejects it, and tolerates down replicas as long as one
-// accepts.
+// accepts. A transport error (the host crashed or became unreachable)
+// counts as a down replica, not a client failure.
 func (c *Client) writeAll(sp *kern.Subprocess, r req) error {
 	accepted := 0
 	var lastErr error
 	for _, host := range c.s.ReplicaHosts(r.name) {
 		out, err := c.call(sp, host, r)
 		if err != nil {
-			return err
+			lastErr = err
+			continue
 		}
 		switch out.err {
 		case "":
@@ -252,14 +257,15 @@ func (c *Client) writeAll(sp *kern.Subprocess, r req) error {
 	return nil
 }
 
-// Read returns the file contents, failing over from a down primary to
-// the other replicas.
+// Read returns the file contents, failing over from a down or crashed
+// primary to the other replicas.
 func (c *Client) Read(sp *kern.Subprocess, name string) ([]byte, error) {
 	var lastErr error
 	for _, host := range c.s.ReplicaHosts(name) {
 		out, err := c.call(sp, host, req{op: "read", name: name})
 		if err != nil {
-			return nil, err
+			lastErr = err
+			continue
 		}
 		if out.err == "" {
 			return out.data, nil
@@ -278,7 +284,8 @@ func (c *Client) Stat(sp *kern.Subprocess, name string) (int, error) {
 	for _, host := range c.s.ReplicaHosts(name) {
 		out, err := c.call(sp, host, req{op: "stat", name: name})
 		if err != nil {
-			return 0, err
+			lastErr = err
+			continue
 		}
 		if out.err == "" {
 			return out.size, nil

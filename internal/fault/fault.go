@@ -1,0 +1,223 @@
+// Package fault is the deterministic fault-injection engine: a seeded
+// source of failures scheduled as virtual-time events on the sim
+// clock. It can fail and repair HPC cube links, degrade their
+// bandwidth, crash and restart nodes and hosts, take DFS servers down,
+// and install probabilistic loss/corruption on an S/NET bus — and it
+// drives the recovery half of the system: channel peers of a crashed
+// machine get errors instead of hangs, the resource manager force-
+// frees the dead node's processors (the §3.1 VORX policy), and DFS
+// clients fail over to surviving replicas.
+//
+// Determinism: all fault times are virtual, the probabilistic S/NET
+// model draws from the engine's own seeded generator in bus-transfer
+// order, and every recovery action is scheduled on the same event
+// clock — so one seed plus one schedule yields one bit-identical run.
+// An engine with nothing scheduled costs nothing: no timers are armed
+// and no hot path consults it.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/dfs"
+	"hpcvorx/internal/resmgr"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/snet"
+	"hpcvorx/internal/topo"
+)
+
+// Record is one fault or recovery action, in virtual-time order.
+type Record struct {
+	At     sim.Time
+	Kind   string // "link-down", "crash", "detect", "force-free", ...
+	Detail string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%10v  %-11s %s", r.At, r.Kind, r.Detail)
+}
+
+// Engine schedules faults and wires recovery. Create with New, attach
+// the system with Bind (and optionally BindResmgr/BindDFS), then
+// schedule fault events before running the simulation.
+type Engine struct {
+	k   *sim.Kernel
+	rng *rand.Rand
+	sys *core.System
+	res *resmgr.VORX
+	fs  *dfs.Service
+
+	// DetectDelay models how long the LAM takes to notice a crashed
+	// machine before survivors are told (peer-death errors, force-
+	// free). Default 2 ms.
+	DetectDelay sim.Duration
+	// AckTimeout and MaxRetries configure the channel end-to-end
+	// recovery Bind installs on every machine. Defaults: 5 ms, 3.
+	AckTimeout sim.Duration
+	MaxRetries int
+
+	recs []Record
+}
+
+// New creates an engine on kernel k. seed drives the probabilistic
+// models; scheduled (non-probabilistic) faults do not consume it.
+func New(k *sim.Kernel, seed int64) *Engine {
+	return &Engine{
+		k:           k,
+		rng:         rand.New(rand.NewSource(seed)),
+		DetectDelay: 2 * sim.Millisecond,
+		AckTimeout:  5 * sim.Millisecond,
+		MaxRetries:  3,
+	}
+}
+
+// Bind attaches the engine to a system and arms end-to-end channel
+// recovery on every machine (writes time out, retransmit, and report
+// peer death instead of hanging).
+func (e *Engine) Bind(sys *core.System) {
+	e.sys = sys
+	for _, m := range sys.Machines() {
+		m.Chans.SetAckTimeout(e.AckTimeout, e.MaxRetries)
+	}
+}
+
+// BindResmgr makes node crashes force-free the dead node's processors.
+func (e *Engine) BindResmgr(res *resmgr.VORX) { e.res = res }
+
+// BindDFS attaches a file service for dfs-down/dfs-up schedule ops.
+func (e *Engine) BindDFS(fs *dfs.Service) { e.fs = fs }
+
+// Records returns every fault and recovery action so far, in
+// virtual-time order.
+func (e *Engine) Records() []Record { return e.recs }
+
+// Report writes the fault/recovery log.
+func (e *Engine) Report(w io.Writer) {
+	fmt.Fprintf(w, "fault log (%d events):\n", len(e.recs))
+	for _, r := range e.recs {
+		fmt.Fprintln(w, " ", r)
+	}
+}
+
+func (e *Engine) record(kind, format string, args ...any) {
+	e.recs = append(e.recs, Record{At: e.k.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// CubeLinkDownAt fails the cube link between clusters a and b at
+// virtual time at.
+func (e *Engine) CubeLinkDownAt(at sim.Duration, a, b topo.ClusterID) {
+	e.k.At(sim.Time(at), func() {
+		e.sys.IC.SetCubeLinkDown(a, b, true)
+		e.record("link-down", "cube %d-%d", a, b)
+	})
+}
+
+// CubeLinkUpAt repairs the cube link between a and b at time at.
+func (e *Engine) CubeLinkUpAt(at sim.Duration, a, b topo.ClusterID) {
+	e.k.At(sim.Time(at), func() {
+		e.sys.IC.SetCubeLinkDown(a, b, false)
+		e.record("link-up", "cube %d-%d", a, b)
+	})
+}
+
+// DegradeCubeLinkAt multiplies the a-b link's wire time by factor at
+// time at (factor <= 1 restores full bandwidth).
+func (e *Engine) DegradeCubeLinkAt(at sim.Duration, a, b topo.ClusterID, factor float64) {
+	e.k.At(sim.Time(at), func() {
+		e.sys.IC.SetCubeLinkSlowdown(a, b, factor)
+		e.record("degrade", "cube %d-%d x%.2f", a, b, factor)
+	})
+}
+
+// CrashNodeAt crashes processing node i at time at; recovery (peer
+// death, force-free) follows after DetectDelay.
+func (e *Engine) CrashNodeAt(at sim.Duration, i int) {
+	e.k.At(sim.Time(at), func() { e.crashMachine(e.sys.Node(i)) })
+}
+
+// RestartNodeAt restarts processing node i at time at.
+func (e *Engine) RestartNodeAt(at sim.Duration, i int) {
+	e.k.At(sim.Time(at), func() { e.restartMachine(e.sys.Node(i)) })
+}
+
+// CrashHostAt crashes host workstation i at time at. Its DFS server
+// (if any) dies with it; clients fail over on transport errors.
+func (e *Engine) CrashHostAt(at sim.Duration, i int) {
+	e.k.At(sim.Time(at), func() { e.crashMachine(e.sys.Host(i)) })
+}
+
+// RestartHostAt restarts host workstation i at time at.
+func (e *Engine) RestartHostAt(at sim.Duration, i int) {
+	e.k.At(sim.Time(at), func() { e.restartMachine(e.sys.Host(i)) })
+}
+
+// DFSDownAt marks DFS host server i software-down at time at (the
+// host machine stays alive — a server outage, not a crash).
+func (e *Engine) DFSDownAt(at sim.Duration, host int) {
+	e.k.At(sim.Time(at), func() {
+		e.fs.SetDown(host, true)
+		e.record("dfs-down", "host %d", host)
+	})
+}
+
+// DFSUpAt brings DFS host server i back at time at.
+func (e *Engine) DFSUpAt(at sim.Duration, host int) {
+	e.k.At(sim.Time(at), func() {
+		e.fs.SetDown(host, false)
+		e.record("dfs-up", "host %d", host)
+	})
+}
+
+func (e *Engine) crashMachine(m *core.Machine) {
+	if m.Kern.Crashed() {
+		return
+	}
+	m.Kern.Crash()
+	e.record("crash", "%s", m.Name())
+	e.k.After(e.DetectDelay, func() {
+		if !m.Kern.Crashed() {
+			return // restarted before anyone noticed
+		}
+		failed := 0
+		for _, other := range e.sys.Machines() {
+			if other == m || other.Kern.Crashed() {
+				continue
+			}
+			failed += other.Chans.PeerDown(m.EP)
+		}
+		e.record("detect", "%s dead: %d channel ends failed", m.Name(), failed)
+		if e.res != nil && !m.Host {
+			owners := e.res.ForceFree([]resmgr.NodeID{resmgr.NodeID(m.Index)})
+			e.record("force-free", "node %d (owners %v)", m.Index, owners)
+		}
+	})
+}
+
+func (e *Engine) restartMachine(m *core.Machine) {
+	if !m.Kern.Crashed() {
+		return
+	}
+	m.Kern.Restart()
+	e.record("restart", "%s", m.Name())
+}
+
+// SNETModel installs a probabilistic loss/corruption model on an S/NET
+// bus: each accepted transfer is independently destroyed with
+// probability lossProb and corrupted with probability corruptProb,
+// drawn from the engine's seeded generator in deterministic
+// bus-transfer order. Subsumes snet.SetCorruptEvery.
+func (e *Engine) SNETModel(nw *snet.Network, lossProb, corruptProb float64) {
+	nw.SetInjector(snet.InjectorFunc(func(src, dst, size int) snet.Fate {
+		x := e.rng.Float64()
+		switch {
+		case x < lossProb:
+			return snet.FateDrop
+		case x < lossProb+corruptProb:
+			return snet.FateCorrupt
+		}
+		return snet.FateDeliver
+	}))
+}

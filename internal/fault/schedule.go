@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// Op is one line of a fault schedule: what to do and when.
+type Op struct {
+	At   sim.Duration
+	Kind string
+	Args []string
+}
+
+// ParseSchedule reads a fault schedule, one op per line:
+//
+//	500us link-down 0 1        # fail cube link between clusters 0 and 1
+//	2ms   link-up 0 1
+//	1ms   degrade 0 2 4.0      # 4x slower wire on cube link 0-2
+//	2ms   crash node3
+//	5ms   restart node3
+//	2ms   crash host0
+//	3ms   dfs-down 1           # DFS server outage (host machine alive)
+//	4ms   dfs-up 1
+//
+// Blank lines and #-comments are ignored. Times are virtual, with
+// units ns, us (or µs), ms, or s.
+func ParseSchedule(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: line %d: want \"<time> <op> [args...]\"", lineNo)
+		}
+		at, err := parseDur(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+		}
+		ops = append(ops, Op{At: at, Kind: fields[1], Args: fields[2:]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// parseDur parses "500us", "2ms", "1.5s", "250ns".
+func parseDur(s string) (sim.Duration, error) {
+	unit := sim.Duration(0)
+	num := s
+	for _, u := range []struct {
+		suffix string
+		d      sim.Duration
+	}{
+		{"ns", sim.Nanosecond}, {"µs", sim.Microsecond}, {"us", sim.Microsecond},
+		{"ms", sim.Millisecond}, {"s", sim.Second},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			unit = u.d
+			num = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	if unit == 0 {
+		return 0, fmt.Errorf("duration %q needs a unit (ns/us/ms/s)", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return sim.Duration(f * float64(unit)), nil
+}
+
+// Apply schedules every op on the engine. The engine must already be
+// bound to a system (and to a DFS service if the schedule uses
+// dfs-down/dfs-up).
+func (e *Engine) Apply(ops []Op) error {
+	for i, op := range ops {
+		if err := e.apply(op); err != nil {
+			return fmt.Errorf("fault: op %d (%s): %w", i+1, op.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) apply(op Op) error {
+	argInts := func(n int) ([]int, error) {
+		if len(op.Args) < n {
+			return nil, fmt.Errorf("want %d args, got %d", n, len(op.Args))
+		}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.Atoi(op.Args[i])
+			if err != nil {
+				return nil, fmt.Errorf("bad arg %q", op.Args[i])
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	machine := func() (string, int, error) {
+		if len(op.Args) != 1 {
+			return "", 0, fmt.Errorf("want one arg like node3 or host0")
+		}
+		a := op.Args[0]
+		for _, class := range []string{"node", "host"} {
+			if strings.HasPrefix(a, class) {
+				i, err := strconv.Atoi(a[len(class):])
+				if err != nil {
+					return "", 0, fmt.Errorf("bad machine %q", a)
+				}
+				return class, i, nil
+			}
+		}
+		return "", 0, fmt.Errorf("bad machine %q (want nodeN or hostN)", a)
+	}
+	switch op.Kind {
+	case "link-down", "link-up":
+		v, err := argInts(2)
+		if err != nil {
+			return err
+		}
+		a, b := topo.ClusterID(v[0]), topo.ClusterID(v[1])
+		if op.Kind == "link-down" {
+			e.CubeLinkDownAt(op.At, a, b)
+		} else {
+			e.CubeLinkUpAt(op.At, a, b)
+		}
+	case "degrade":
+		v, err := argInts(2)
+		if err != nil {
+			return err
+		}
+		if len(op.Args) != 3 {
+			return fmt.Errorf("want: degrade <a> <b> <factor>")
+		}
+		f, err := strconv.ParseFloat(op.Args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad factor %q", op.Args[2])
+		}
+		e.DegradeCubeLinkAt(op.At, topo.ClusterID(v[0]), topo.ClusterID(v[1]), f)
+	case "crash", "restart":
+		class, i, err := machine()
+		if err != nil {
+			return err
+		}
+		if e.sys != nil {
+			n := len(e.sys.Nodes())
+			if class == "host" {
+				n = len(e.sys.Hosts())
+			}
+			if i < 0 || i >= n {
+				return fmt.Errorf("no %s%d in this system (%d %ss)", class, i, n, class)
+			}
+		}
+		switch {
+		case op.Kind == "crash" && class == "node":
+			e.CrashNodeAt(op.At, i)
+		case op.Kind == "crash" && class == "host":
+			e.CrashHostAt(op.At, i)
+		case op.Kind == "restart" && class == "node":
+			e.RestartNodeAt(op.At, i)
+		default:
+			e.RestartHostAt(op.At, i)
+		}
+	case "dfs-down", "dfs-up":
+		v, err := argInts(1)
+		if err != nil {
+			return err
+		}
+		if e.fs == nil {
+			return fmt.Errorf("no DFS service bound")
+		}
+		if v[0] < 0 || v[0] >= e.fs.NumHosts() {
+			return fmt.Errorf("no DFS server on host%d (%d hosts)", v[0], e.fs.NumHosts())
+		}
+		if op.Kind == "dfs-down" {
+			e.DFSDownAt(op.At, v[0])
+		} else {
+			e.DFSUpAt(op.At, v[0])
+		}
+	default:
+		return fmt.Errorf("unknown op %q", op.Kind)
+	}
+	return nil
+}

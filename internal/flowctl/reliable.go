@@ -23,6 +23,12 @@ type Reliable struct {
 	nw      *snet.Network
 	pending []*relPend
 	userFns []func(m snet.Message)
+	seq     int // per-instance sequence counter
+
+	// AckTimeout is how long a sender waits for an acknowledgement
+	// before retransmitting. NewReliable defaults it to 5 ms; adjust
+	// before traffic flows.
+	AckTimeout sim.Duration
 
 	// Retransmissions counts NAK-triggered resends; Timeouts counts
 	// resends after a lost or corrupted acknowledgement.
@@ -31,10 +37,6 @@ type Reliable struct {
 	// Delivered counts messages handed to receivers exactly once.
 	Delivered int
 }
-
-// AckTimeout is how long a sender waits for an acknowledgement before
-// retransmitting.
-var AckTimeout = 5 * sim.Millisecond
 
 type relPend struct {
 	seq    int
@@ -57,15 +59,16 @@ const relAckBytes = 12
 func NewReliable(k *sim.Kernel, nw *snet.Network) *Reliable {
 	n := nw.Stations()
 	r := &Reliable{
-		k:       k,
-		nw:      nw,
-		pending: make([]*relPend, n),
-		userFns: make([]func(m snet.Message), n),
+		k:          k,
+		nw:         nw,
+		pending:    make([]*relPend, n),
+		userFns:    make([]func(m snet.Message), n),
+		AckTimeout: 5 * sim.Millisecond,
 	}
 	for i := 0; i < n; i++ {
 		i := i
 		st := nw.Station(i)
-		seen := map[int]bool{} // dedupe by seq (seqs are global)
+		seen := map[int]bool{} // dedupe by seq (unique per Reliable instance)
 		st.SetDeliver(func(m snet.Message) {
 			switch b := m.Payload.(type) {
 			case relData:
@@ -116,15 +119,13 @@ func (r *Reliable) sendCtl(st *snet.Station, to, seq int, ok bool) {
 // SetDeliver installs the exactly-once receive callback for station i.
 func (r *Reliable) SetDeliver(i int, fn func(m snet.Message)) { r.userFns[i] = fn }
 
-var relSeq int
-
 // Send reliably delivers one message: transmit, await the ACK; on NAK,
 // timeout, or FIFO overflow retransmit from the still-intact user
 // buffer. Returns the number of data transfers used. One outstanding
 // Send per station at a time (stop-and-wait).
 func (r *Reliable) Send(p *sim.Proc, src *snet.Station, dst, size int, payload any) int {
-	relSeq++
-	seq := relSeq
+	r.seq++
+	seq := r.seq
 	transfers := 0
 	for {
 		transfers++
@@ -135,7 +136,7 @@ func (r *Reliable) Send(p *sim.Proc, src *snet.Station, dst, size int, payload a
 		pd := &relPend{seq: seq}
 		pd.wake = p.Park(fmt.Sprintf("rel-ack %d", src.ID()))
 		r.pending[src.ID()] = pd
-		timer := r.k.After(AckTimeout, func() {
+		timer := r.k.After(r.AckTimeout, func() {
 			if pd.result == 0 {
 				pd.result = 2
 				pd.wake()

@@ -84,3 +84,119 @@ func TestReliableMultipleSenders(t *testing.T) {
 		}
 	}
 }
+
+// dropNth drops the nth transfer matching the size predicate (1-based)
+// and delivers everything else intact.
+func dropNth(n int, match func(size int) bool) snet.Injector {
+	count := 0
+	return snet.InjectorFunc(func(src, dst, size int) snet.Fate {
+		if match(size) {
+			count++
+			if count == n {
+				return snet.FateDrop
+			}
+		}
+		return snet.FateDeliver
+	})
+}
+
+const ctlBytes = 12 // wire size of relAck, see reliable.go
+
+// TestReliableLostDataRecovered: a data message destroyed in flight is
+// recovered by the sender's ack timeout, and delivery stays
+// exactly-once.
+func TestReliableLostDataRecovered(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	nw.SetInjector(dropNth(2, func(size int) bool { return size > ctlBytes }))
+	rel := flowctl.NewReliable(k, nw)
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 5
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+	})
+	k.RunFor(sim.Seconds(2))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d (%v)", len(got), msgs, got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: got[%d]=%d", i, v)
+		}
+	}
+	if rel.Timeouts == 0 {
+		t.Fatal("a lost data message must be recovered by timeout")
+	}
+	if rel.Delivered != msgs {
+		t.Fatalf("exactly-once violated: Delivered=%d", rel.Delivered)
+	}
+	if nw.Stats().Lost != 1 {
+		t.Fatalf("injected 1 loss, network counted %d", nw.Stats().Lost)
+	}
+}
+
+// TestReliableLostAckRecovered: the data arrives but its ACK is
+// destroyed; the timeout retransmits, the receiver deduplicates, and
+// the user sees the message exactly once.
+func TestReliableLostAckRecovered(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	nw.SetInjector(dropNth(1, func(size int) bool { return size == ctlBytes }))
+	rel := flowctl.NewReliable(k, nw)
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 5
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+	})
+	k.RunFor(sim.Seconds(2))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d (%v)", len(got), msgs, got)
+	}
+	if rel.Timeouts == 0 {
+		t.Fatal("a lost ack must trigger a timeout resend")
+	}
+	if rel.Delivered != msgs {
+		t.Fatalf("duplicate delivery after ack loss: Delivered=%d", rel.Delivered)
+	}
+}
+
+// TestReliablePerInstanceState: two networks in one process keep
+// independent sequence spaces and timeouts (the former package-level
+// globals leaked across instances).
+func TestReliablePerInstanceState(t *testing.T) {
+	k := sim.NewKernel(5)
+	nwA := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	nwB := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	relA := flowctl.NewReliable(k, nwA)
+	relB := flowctl.NewReliable(k, nwB)
+	relB.AckTimeout = 9 * sim.Millisecond
+	if relA.AckTimeout != 5*sim.Millisecond {
+		t.Fatalf("instance A timeout changed by instance B: %v", relA.AckTimeout)
+	}
+	dA, dB := 0, 0
+	relA.SetDeliver(0, func(m snet.Message) { dA++ })
+	relB.SetDeliver(0, func(m snet.Message) { dB++ })
+	k.Spawn("sa", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			relA.Send(p, nwA.Station(1), 0, 100, i)
+		}
+	})
+	k.Spawn("sb", func(p *sim.Proc) {
+		for i := 0; i < 7; i++ {
+			relB.Send(p, nwB.Station(1), 0, 100, i)
+		}
+	})
+	k.RunFor(sim.Seconds(1))
+	k.Shutdown()
+	if dA != 4 || dB != 7 {
+		t.Fatalf("delivered A=%d B=%d, want 4/7", dA, dB)
+	}
+}

@@ -1,0 +1,175 @@
+package hpc
+
+import (
+	"testing"
+
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// newCube builds a 4-cluster (dim-2) fabric with one endpoint per
+// cluster: endpoint e sits on cluster e.
+func newCube(t *testing.T) (*sim.Kernel, *Interconnect) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	tp, err := topo.IncompleteHypercube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, New(k, m68k.DefaultCosts(), tp)
+}
+
+// TestLinkDownReroutesWithoutLoss: fail the canonical link before the
+// send; the message takes the detour and nothing is lost.
+func TestLinkDownReroutesWithoutLoss(t *testing.T) {
+	k, ic := newCube(t)
+	// Canonical route 0→1 uses cube link 0-1. Fail it.
+	ic.SetCubeLinkDown(0, 1, true)
+	delivered := 0
+	ic.SetDeliver(1, func(d *Delivery) { delivered++; d.Release() })
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := ic.Send(p, &Message{Src: 0, Dst: 1, Size: 200}, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d of 3 across the detour", delivered)
+	}
+	// The detour 0→2→3→1 exists; the failed link must stay unused.
+	for _, ls := range ic.LinkStats() {
+		if (ls.Name == "cube0-1" || ls.Name == "cube1-0") && ls.Messages > 0 {
+			t.Fatalf("failed link %s carried %d messages", ls.Name, ls.Messages)
+		}
+	}
+}
+
+// TestLinkDownMidFlightReroute: a message already queued at a link
+// when it fails is re-pathed and still arrives; Stats.Reroutes counts
+// the rescue.
+func TestLinkDownMidFlightReroute(t *testing.T) {
+	k, ic := newCube(t)
+	delivered := 0
+	ic.SetDeliver(1, func(d *Delivery) { delivered++; d.Release() })
+	k.Spawn("sender", func(p *sim.Proc) {
+		// Two back-to-back messages: the second queues behind the first.
+		for i := 0; i < 2; i++ {
+			if err := ic.Send(p, &Message{Src: 0, Dst: 1, Size: 1000}, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	// Fail the canonical link while traffic is queued on it. 8 µs is
+	// after the first message entered the fabric but before the second
+	// clears cube0-1 (each hop of a 1000-byte message takes 51 µs).
+	k.After(8*sim.Microsecond, func() { ic.SetCubeLinkDown(0, 1, true) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d of 2 after mid-flight failure", delivered)
+	}
+	if ic.Stats().Reroutes == 0 {
+		t.Fatal("expected at least one mid-flight reroute")
+	}
+}
+
+// TestPartitionReportsUnreachable: with every path to the destination
+// failed, TrySend returns an error instead of wedging, and repair
+// restores service.
+func TestPartitionReportsUnreachable(t *testing.T) {
+	k, ic := newCube(t)
+	// Cluster 3 reaches the rest via 3-1 and 3-2 only.
+	ic.SetCubeLinkDown(3, 1, true)
+	ic.SetCubeLinkDown(3, 2, true)
+	ok, err := ic.TrySend(&Message{Src: 0, Dst: 3, Size: 100}, nil)
+	if ok || err == nil {
+		t.Fatalf("partitioned destination: ok=%v err=%v, want unreachable error", ok, err)
+	}
+	// Same-side traffic still flows.
+	delivered := 0
+	ic.SetDeliver(2, func(d *Delivery) { delivered++; d.Release() })
+	k.Spawn("sender", func(p *sim.Proc) {
+		if err := ic.Send(p, &Message{Src: 0, Dst: 2, Size: 100}, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatal("traffic on the surviving side must be unaffected")
+	}
+	// Repair and verify reachability returns.
+	ic.SetCubeLinkDown(3, 1, false)
+	ic.SetCubeLinkDown(3, 2, false)
+	if ok, err := ic.TrySend(&Message{Src: 0, Dst: 3, Size: 100}, nil); !ok || err != nil {
+		t.Fatalf("after repair: ok=%v err=%v", ok, err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkUpResumesParkedTraffic: a transfer with no surviving path
+// parks at the failed link and completes after repair — the "never
+// loses messages" guarantee holds across the outage.
+func TestLinkUpResumesParkedTraffic(t *testing.T) {
+	k, ic := newCube(t)
+	delivered := 0
+	ic.SetDeliver(3, func(d *Delivery) { delivered++; d.Release() })
+	k.Spawn("sender", func(p *sim.Proc) {
+		if err := ic.Send(p, &Message{Src: 0, Dst: 3, Size: 1000}, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	// Isolate cluster 3 while the message is in flight (committed at
+	// send time, so no unreachable error), then repair one link later.
+	k.After(8*sim.Microsecond, func() {
+		ic.SetCubeLinkDown(3, 1, true)
+		ic.SetCubeLinkDown(3, 2, true)
+	})
+	k.After(2*sim.Millisecond, func() { ic.SetCubeLinkDown(3, 1, false) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatal("parked message must deliver after link repair")
+	}
+}
+
+// TestDegradedLinkSlowsTransfer: a slowdown factor stretches wire time
+// on the degraded link and restoring it returns latency to normal.
+func TestDegradedLinkSlowsTransfer(t *testing.T) {
+	timeOnce := func(factor float64) sim.Time {
+		k, ic := newCube(t)
+		if factor > 0 {
+			ic.SetCubeLinkSlowdown(0, 1, factor)
+		}
+		var at sim.Time
+		ic.SetDeliver(1, func(d *Delivery) { at = k.Now(); d.Release() })
+		k.Spawn("sender", func(p *sim.Proc) {
+			if err := ic.Send(p, &Message{Src: 0, Dst: 1, Size: 1000}, nil); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	clean := timeOnce(0)
+	slow := timeOnce(4.0)
+	restored := timeOnce(1.0) // factor <= 1 restores full rate
+	if slow <= clean {
+		t.Fatalf("degraded link not slower: clean %v, degraded %v", clean, slow)
+	}
+	if restored != clean {
+		t.Fatalf("restored link latency %v, want %v", restored, clean)
+	}
+}

@@ -62,6 +62,9 @@ type Stats struct {
 	BytesDelivered    int64
 	MessagesSent      int
 	MulticastsSent    int
+	// Reroutes counts transfers that were re-pathed around a failed
+	// cube link after they had already been committed to a route.
+	Reroutes int
 }
 
 // Interconnect simulates one HPC fabric.
@@ -78,6 +81,11 @@ type Interconnect struct {
 
 	deliver []DeliverFunc
 	onRoom  [][]func() // room-available interrupt handlers per endpoint
+
+	// downCubes counts directed cube links currently marked down. When
+	// it is zero every route uses the canonical dimension-order rule,
+	// so an idle fault engine leaves behaviour bit-identical.
+	downCubes int
 
 	stats Stats
 }
@@ -107,9 +115,12 @@ func New(k *sim.Kernel, costs *m68k.Costs, t *topo.Topology) *Interconnect {
 		for _, nb := range t.Neighbors(topo.ClusterID(c)) {
 			key := [2]topo.ClusterID{topo.ClusterID(c), nb}
 			ic.cubeLnk[key] = &link{
-				ic:   ic,
-				name: fmt.Sprintf("cube%d-%d", c, nb),
-				into: &buffer{name: fmt.Sprintf("clbuf%d-%d", c, nb)},
+				ic:     ic,
+				name:   fmt.Sprintf("cube%d-%d", c, nb),
+				into:   &buffer{name: fmt.Sprintf("clbuf%d-%d", c, nb)},
+				isCube: true,
+				from:   topo.ClusterID(c),
+				to:     nb,
 			}
 		}
 	}
@@ -177,6 +188,100 @@ func (ic *Interconnect) SetDeliver(e topo.EndpointID, fn DeliverFunc) {
 	ic.deliver[e] = fn
 }
 
+// SetCubeLinkDown fails or repairs the bidirectional cube link between
+// clusters a and b. Failing a link reroutes every transfer queued at
+// it around the failure; a transfer for which no surviving path exists
+// stays parked at the link until repair (the fabric still never loses
+// a message — store-and-forward buffers hold it). A transmission
+// already on the wire completes normally. Repairing a link restarts
+// its queue. Unknown links are ignored.
+func (ic *Interconnect) SetCubeLinkDown(a, b topo.ClusterID, down bool) {
+	ic.setDirDown(a, b, down)
+	ic.setDirDown(b, a, down)
+}
+
+func (ic *Interconnect) setDirDown(from, to topo.ClusterID, down bool) {
+	l := ic.cubeLnk[[2]topo.ClusterID{from, to}]
+	if l == nil || l.down == down {
+		return
+	}
+	l.down = down
+	if down {
+		ic.downCubes++
+		q := l.waitQ
+		l.waitQ = nil
+		for _, t := range q {
+			if !ic.rerouteFrom(t, from) {
+				l.waitQ = append(l.waitQ, t) // partitioned: await repair
+			}
+		}
+	} else {
+		ic.downCubes--
+		l.tryStart()
+	}
+}
+
+// CubeLinkDown reports whether the directed cube link from a to b is
+// currently failed.
+func (ic *Interconnect) CubeLinkDown(a, b topo.ClusterID) bool {
+	l := ic.cubeLnk[[2]topo.ClusterID{a, b}]
+	return l != nil && l.down
+}
+
+// DownCubeLinks returns the number of directed cube links currently
+// failed (a bidirectional failure counts twice).
+func (ic *Interconnect) DownCubeLinks() int { return ic.downCubes }
+
+// SetCubeLinkSlowdown degrades (factor > 1) or restores (factor <= 1)
+// the bandwidth of the cube link between a and b in both directions:
+// wire time is multiplied by factor, modeling a link renegotiated to a
+// lower rate. Unknown links are ignored.
+func (ic *Interconnect) SetCubeLinkSlowdown(a, b topo.ClusterID, factor float64) {
+	for _, key := range [][2]topo.ClusterID{{a, b}, {b, a}} {
+		if l := ic.cubeLnk[key]; l != nil {
+			l.slowdown = factor
+		}
+	}
+}
+
+// cubeDown is the down-link predicate fed to topo.RouteAvoiding.
+func (ic *Interconnect) cubeDown(from, to topo.ClusterID) bool {
+	return ic.CubeLinkDown(from, to)
+}
+
+// clusterPath returns the cluster route from a to b. With no failed
+// links it is the canonical dimension-order route; with failures it is
+// a deterministic shortest path over the surviving links, or an error
+// when the failures partition a from b.
+func (ic *Interconnect) clusterPath(a, b topo.ClusterID) ([]topo.ClusterID, error) {
+	if ic.downCubes == 0 {
+		return ic.topo.ClusterRoute(a, b), nil
+	}
+	if r := ic.topo.RouteAvoiding(a, b, ic.cubeDown); r != nil {
+		return r, nil
+	}
+	return nil, fmt.Errorf("hpc: cluster %d unreachable from cluster %d (links down)", b, a)
+}
+
+// rerouteFrom re-paths a transfer currently held at cluster `at`
+// around the failed links, reporting whether a surviving path exists.
+func (ic *Interconnect) rerouteFrom(t *transfer, at topo.ClusterID) bool {
+	dstCluster := ic.topo.AttachmentOf(t.msg.Dst).Cluster
+	route := ic.topo.RouteAvoiding(at, dstCluster, ic.cubeDown)
+	if route == nil {
+		return false
+	}
+	newLinks := make([]*link, 0, len(route))
+	for i := 1; i < len(route); i++ {
+		newLinks = append(newLinks, ic.cubeLnk[[2]topo.ClusterID{route[i-1], route[i]}])
+	}
+	newLinks = append(newLinks, ic.dnLink[t.msg.Dst])
+	t.links = append(t.links[:t.pos:t.pos], newLinks...)
+	ic.stats.Reroutes++
+	t.links[t.pos].request(t)
+	return true
+}
+
 // OutputFree reports whether endpoint e's output section has room.
 func (ic *Interconnect) OutputFree(e topo.EndpointID) bool {
 	return ic.outSec[e].occupant == nil
@@ -209,7 +314,11 @@ func (ic *Interconnect) TrySend(msg *Message, onDelivered func(*Message)) (bool,
 	if out.occupant != nil {
 		return false, nil
 	}
-	t := &transfer{msg: msg, links: ic.routeLinks(msg.Src, msg.Dst), onDelivered: onDelivered}
+	links, err := ic.routeLinks(msg.Src, msg.Dst)
+	if err != nil {
+		return false, err
+	}
+	t := &transfer{msg: msg, links: links, onDelivered: onDelivered}
 	out.occupant = t
 	t.holder = out
 	ic.stats.MessagesSent++
@@ -314,23 +423,46 @@ func (m *mcastRoot) fanOut(root *transfer) {
 }
 
 // ic_linksFromCluster returns the link path from cluster c to endpoint
-// dst (inter-cluster hops plus the final down-link).
+// dst (inter-cluster hops plus the final down-link). With failed links
+// it routes around them; when dst is unreachable it falls back to the
+// canonical route, so the transfer parks at the failed link until
+// repair — used by multicast, which has no per-branch error path.
 func ic_linksFromCluster(ic *Interconnect, c topo.ClusterID, dst topo.EndpointID) []*link {
+	links, err := ic.linksFromCluster(c, dst)
+	if err == nil {
+		return links
+	}
 	route := ic.topo.ClusterRoute(c, ic.topo.AttachmentOf(dst).Cluster)
+	links = nil
+	for i := 1; i < len(route); i++ {
+		links = append(links, ic.cubeLnk[[2]topo.ClusterID{route[i-1], route[i]}])
+	}
+	return append(links, ic.dnLink[dst])
+}
+
+// linksFromCluster returns the link path from cluster c to endpoint
+// dst over surviving links, or an error when dst is unreachable.
+func (ic *Interconnect) linksFromCluster(c topo.ClusterID, dst topo.EndpointID) ([]*link, error) {
+	route, err := ic.clusterPath(c, ic.topo.AttachmentOf(dst).Cluster)
+	if err != nil {
+		return nil, err
+	}
 	var links []*link
 	for i := 1; i < len(route); i++ {
 		links = append(links, ic.cubeLnk[[2]topo.ClusterID{route[i-1], route[i]}])
 	}
-	links = append(links, ic.dnLink[dst])
-	return links
+	return append(links, ic.dnLink[dst]), nil
 }
 
 // routeLinks returns the full link path from src's output section to
-// dst's input section.
-func (ic *Interconnect) routeLinks(src, dst topo.EndpointID) []*link {
-	links := []*link{ic.upLink[src]}
-	links = append(links, ic_linksFromCluster(ic, ic.topo.AttachmentOf(src).Cluster, dst)...)
-	return links
+// dst's input section, or an error when link failures have left dst
+// unreachable.
+func (ic *Interconnect) routeLinks(src, dst topo.EndpointID) ([]*link, error) {
+	rest, err := ic.linksFromCluster(ic.topo.AttachmentOf(src).Cluster, dst)
+	if err != nil {
+		return nil, err
+	}
+	return append([]*link{ic.upLink[src]}, rest...), nil
 }
 
 // buffer is a one-message hardware buffer.
@@ -361,21 +493,33 @@ type link struct {
 	waitQ       []*transfer
 	propagation sim.Duration // fiber length delay
 
+	// Fault state (cube links only). down refuses new transmissions;
+	// slowdown > 1 multiplies wire time (degraded bandwidth).
+	isCube   bool
+	from, to topo.ClusterID
+	down     bool
+	slowdown float64
+
 	busyTime  sim.Duration
 	lastStart sim.Time
 	count     int
 }
 
-// request queues t for transmission over l.
+// request queues t for transmission over l. A request arriving at a
+// failed cube link is rerouted around the failure when a surviving
+// path exists; otherwise it parks here until repair.
 func (l *link) request(t *transfer) {
+	if l.down && l.isCube && l.ic.rerouteFrom(t, l.from) {
+		return
+	}
 	l.waitQ = append(l.waitQ, t)
 	l.tryStart()
 }
 
-// tryStart begins the next queued transmission if the link is idle and
-// the downstream buffer is free.
+// tryStart begins the next queued transmission if the link is up and
+// idle and the downstream buffer is free.
 func (l *link) tryStart() {
-	if l.busy || l.into.occupant != nil || len(l.waitQ) == 0 {
+	if l.busy || l.down || l.into.occupant != nil || len(l.waitQ) == 0 {
 		return
 	}
 	t := l.waitQ[0]
@@ -383,7 +527,11 @@ func (l *link) tryStart() {
 	l.busy = true
 	l.into.occupant = t // reserve: "room for an entire message"
 	l.lastStart = l.ic.k.Now()
-	dur := l.ic.costs.HopFixed + l.ic.costs.WireTime(t.msg.Size) + l.propagation
+	wire := l.ic.costs.WireTime(t.msg.Size)
+	if l.slowdown > 1 {
+		wire = sim.Duration(float64(wire) * l.slowdown)
+	}
+	dur := l.ic.costs.HopFixed + wire + l.propagation
 	l.ic.k.After(dur, func() { l.complete(t) })
 }
 

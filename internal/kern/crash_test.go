@@ -1,0 +1,104 @@
+package kern
+
+import (
+	"testing"
+
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+)
+
+// TestCrashHaltsExecution: work stops at the crash instant and the
+// simulation still terminates (stranded subprocesses don't deadlock).
+func TestCrashHaltsExecution(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewNode(k, m68k.DefaultCosts(), "victim")
+	steps := 0
+	n.SpawnSubprocess("worker", 0, func(sp *Subprocess) {
+		for i := 0; i < 100; i++ {
+			sp.Compute(sim.Milliseconds(1))
+			steps++
+		}
+	})
+	k.After(sim.Milliseconds(5)+sim.Microseconds(500), func() { n.Crash() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Crashed() {
+		t.Fatal("node should report crashed")
+	}
+	// 80 µs context switch + 5 whole 1 ms slices fit before the crash.
+	if steps != 5 {
+		t.Fatalf("worker completed %d steps, want 5 (halt mid-slice)", steps)
+	}
+}
+
+// TestCrashDropsInterrupts: a dead CPU takes no interrupts and fires
+// its OnCrash hooks exactly once.
+func TestCrashDropsInterrupts(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewNode(k, m68k.DefaultCosts(), "victim")
+	hooks, handled := 0, 0
+	n.OnCrash(func() { hooks++ })
+	n.Crash()
+	n.Crash() // idempotent
+	n.Interrupt(0, func() { handled++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hooks != 1 {
+		t.Fatalf("OnCrash ran %d times, want 1", hooks)
+	}
+	if handled != 0 || n.Interrupts != 0 {
+		t.Fatalf("dead node serviced %d interrupts (counted %d)", handled, n.Interrupts)
+	}
+}
+
+// TestRestartRunsNewWork: after Restart the node schedules freshly
+// spawned subprocesses, while pre-crash ones stay dead.
+func TestRestartRunsNewWork(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewNode(k, m68k.DefaultCosts(), "victim")
+	oldDone, newDone := false, false
+	n.SpawnSubprocess("old", 0, func(sp *Subprocess) {
+		sp.SleepFor(sim.Milliseconds(2)) // asleep across the crash
+		sp.Compute(sim.Milliseconds(1))  // stranded: CPU was dead
+		oldDone = true
+	})
+	k.After(sim.Milliseconds(1), func() { n.Crash() })
+	k.After(sim.Milliseconds(3), func() {
+		n.Restart()
+		n.SpawnSubprocess("new", 0, func(sp *Subprocess) {
+			sp.Compute(sim.Milliseconds(1))
+			newDone = true
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if oldDone {
+		t.Fatal("pre-crash subprocess must not survive a cold boot")
+	}
+	if !newDone {
+		t.Fatal("post-restart subprocess must run")
+	}
+	if n.Crashed() {
+		t.Fatal("node should be live after Restart")
+	}
+}
+
+// TestCrashAccountsIdle: a crashed node accumulates idle-other time,
+// not user time.
+func TestCrashAccountsIdle(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := NewNode(k, m68k.DefaultCosts(), "victim")
+	n.SpawnSubprocess("worker", 0, func(sp *Subprocess) {
+		sp.Compute(sim.Seconds(1))
+	})
+	k.After(sim.Milliseconds(1), func() { n.Crash() })
+	k.RunFor(sim.Milliseconds(11))
+	k.Shutdown()
+	tot := n.Totals()
+	if tot[CatIdleOther] < sim.Milliseconds(10) {
+		t.Fatalf("crashed node idle-other = %v, want >= 10ms", tot[CatIdleOther])
+	}
+}

@@ -97,6 +97,9 @@ type Node struct {
 
 	subs []*Subprocess
 
+	crashed bool
+	onCrash []func()
+
 	acctCat   Category
 	acctSince sim.Time
 	acctBusy  bool // accounting an active (non-idle) span
@@ -183,6 +186,54 @@ func (n *Node) idleCategory() Category {
 	}
 }
 
+// Crash halts the node as a hardware failure would: the running
+// segment stops mid-flight (its remainder is never charged), the ready
+// queue, suspended task, and pending interrupts are discarded, and
+// every subprocess is abandoned where it stands — exactly what a node
+// that "vanishes mid-session" (§3.1) looks like to the rest of the
+// LAM. Abandoned subprocesses are marked daemons so the simulation's
+// deadlock detector ignores them; they never run again, even after
+// Restart. OnCrash hooks fire last. Idempotent.
+func (n *Node) Crash() {
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.curTimer.Stop()
+	n.current = nil
+	n.suspended = nil
+	n.ready = nil
+	n.intrQ = nil
+	n.inIntr = false
+	for _, sp := range n.subs {
+		sp.proc.SetDaemon(true)
+		sp.waitKind = WaitNone
+	}
+	n.account(CatIdleOther)
+	for _, fn := range n.onCrash {
+		fn()
+	}
+}
+
+// Restart brings a crashed node's CPU back with empty state (a cold
+// boot): subprocesses from before the crash stay dead; new ones may be
+// spawned. No-op on a live node.
+func (n *Node) Restart() {
+	if !n.crashed {
+		return
+	}
+	n.crashed = false
+	n.lastSP = nil
+	n.account(n.idleCategory())
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// OnCrash registers a hook run when the node crashes (used by the
+// network interface to free fabric buffers the dead node held).
+func (n *Node) OnCrash(fn func()) { n.onCrash = append(n.onCrash, fn) }
+
 // task is one CPU request: a sequence of (category, duration) segments
 // consumed under preemption.
 type task struct {
@@ -229,6 +280,13 @@ func (h *taskHeap) Pop() any {
 // exec runs the calling subprocess's CPU request to completion,
 // blocking the subprocess until the CPU has delivered every segment.
 func (n *Node) exec(sp *Subprocess, segs []seg) {
+	if n.crashed {
+		// The CPU is dead: the subprocess is stranded forever.
+		sp.proc.SetDaemon(true)
+		sp.proc.Park("crashed " + n.name)
+		sp.proc.Block()
+		return
+	}
 	t := &task{sp: sp, segs: segs, prio: sp.prio, seq: n.seq}
 	n.seq++
 	t.wake = sp.proc.Park("cpu " + n.name)
@@ -273,7 +331,7 @@ func (n *Node) stopCurrent() *task {
 
 // schedule dispatches the best ready task if the CPU is free.
 func (n *Node) schedule() {
-	if n.current != nil || n.inIntr || n.suspended != nil {
+	if n.crashed || n.current != nil || n.inIntr || n.suspended != nil {
 		return
 	}
 	if n.ready.Len() == 0 {
@@ -304,6 +362,9 @@ func (n *Node) runSegment() {
 	n.curStart = n.k.Now()
 	seg0 := t.segs[0]
 	n.curTimer = n.k.After(seg0.rem, func() {
+		if n.crashed {
+			return
+		}
 		t.sp.chargeCPU(seg0.cat, seg0.rem)
 		t.segs[0].rem = 0
 		t.segs = t.segs[1:]
@@ -330,6 +391,9 @@ func (n *Node) finish(t *task) {
 // block) and resumes the preempted work without a full context switch.
 // Safe to call from any simulation context.
 func (n *Node) Interrupt(extra sim.Duration, fn func()) {
+	if n.crashed {
+		return // a dead CPU takes no interrupts
+	}
 	n.intrQ = append(n.intrQ, intrWork{d: n.costs.InterruptEntry + extra, fn: fn})
 	n.Interrupts++
 	if n.inIntr {
@@ -347,6 +411,9 @@ func (n *Node) Interrupt(extra sim.Duration, fn func()) {
 // task (no context-switch charge: the interrupt overhead covers the
 // partial save/restore) unless a higher-priority task became ready.
 func (n *Node) runInterrupts() {
+	if n.crashed {
+		return
+	}
 	if len(n.intrQ) == 0 {
 		n.inIntr = false
 		n.account(n.idleCategory())
@@ -367,6 +434,9 @@ func (n *Node) runInterrupts() {
 	w := n.intrQ[0]
 	n.intrQ = n.intrQ[1:]
 	n.k.After(w.d, func() {
+		if n.crashed {
+			return
+		}
 		if w.fn != nil {
 			w.fn()
 		}

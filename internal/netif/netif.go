@@ -57,15 +57,39 @@ type IF struct {
 	services map[string]Service
 	trace    *MsgTrace
 
+	// pending holds deliveries accepted from the fabric but not yet
+	// released (their interrupt has not run). Released en masse if the
+	// node crashes, so a dead node never wedges the interconnect.
+	pending []*hpc.Delivery
+
 	// Dropped counts messages that arrived for an unregistered
 	// service (a programming error in the simulated application).
 	Dropped int
+	// DroppedDead counts messages drained because this node was
+	// crashed — the hardware input section auto-frees, the software
+	// never sees them.
+	DroppedDead int
+	// AsyncDropped counts asynchronous sends abandoned because link
+	// failures made the destination unreachable.
+	AsyncDropped int
 }
 
 // Attach wires node to endpoint ep of ic and returns the interface.
 func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 	f := &IF{node: node, ic: ic, ep: ep, services: make(map[string]Service)}
+	node.OnCrash(func() {
+		for _, d := range f.pending {
+			f.DroppedDead++
+			d.Release()
+		}
+		f.pending = nil
+	})
 	ic.SetDeliver(ep, func(d *hpc.Delivery) {
+		if node.Crashed() {
+			f.DroppedDead++
+			d.Release()
+			return
+		}
 		env, ok := d.Msg.Payload.(Envelope)
 		if !ok {
 			f.Dropped++
@@ -85,16 +109,30 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			return
 		}
 		if svc.NoInterrupt {
+			// Raw deliveries hand the Delivery to the service, which
+			// owns releasing it; they are not crash-tracked.
 			svc.HandleRaw(d)
 			return
 		}
 		msg := d.Msg
+		f.pending = append(f.pending, d)
 		node.Interrupt(svc.Cost(msg), func() {
+			f.unpend(d)
 			d.Release() // message has been read out of the input section
 			svc.Handle(msg)
 		})
 	})
 	return f
+}
+
+// unpend forgets a delivery that has been read out of the hardware.
+func (f *IF) unpend(d *hpc.Delivery) {
+	for i, p := range f.pending {
+		if p == d {
+			f.pending = append(f.pending[:i], f.pending[i+1:]...)
+			return
+		}
+	}
 }
 
 // Node returns the attached kernel node.
@@ -144,7 +182,11 @@ func (f *IF) SendAsync(dst topo.EndpointID, service string, size int, body any, 
 			}
 		})
 		if err != nil {
-			panic(fmt.Sprintf("netif: async send: %v", err))
+			// Unreachable (partitioned) or oversize: drop. End-to-end
+			// recovery — channel timeouts, peer-death — is the caller's
+			// protocol layer's job.
+			f.AsyncDropped++
+			return
 		}
 		if !ok {
 			f.ic.NotifyRoom(f.ep, try)

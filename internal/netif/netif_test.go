@@ -217,3 +217,59 @@ func TestMsgTracePauseAndWindow(t *testing.T) {
 		t.Fatalf("window = %d", len(early))
 	}
 }
+
+// TestCrashedNodeDrainsDeliveries: messages to a dead node are drained
+// by the hardware (DroppedDead), its handlers never run, and the
+// fabric keeps flowing — a crash must not wedge the interconnect.
+func TestCrashedNodeDrainsDeliveries(t *testing.T) {
+	k, _, ifs, nodes := rig(t)
+	handled := 0
+	ifs[1].Register("svc", netif.Service{
+		Cost:   func(*hpc.Message) sim.Duration { return sim.Microseconds(10) },
+		Handle: func(m *hpc.Message) { handled++ },
+	})
+	nodes[1].Crash()
+	for i := 0; i < 3; i++ {
+		ifs[0].SendAsync(1, "svc", 64, i, nil)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 0 {
+		t.Fatalf("dead node handled %d messages", handled)
+	}
+	if ifs[1].DroppedDead != 3 {
+		t.Fatalf("DroppedDead = %d, want 3", ifs[1].DroppedDead)
+	}
+}
+
+// TestCrashReleasesPendingDeliveries: a message whose interrupt is
+// still pending when the node crashes is released (not leaked), so the
+// sender's next message is not blocked forever.
+func TestCrashReleasesPendingDeliveries(t *testing.T) {
+	k, _, ifs, nodes := rig(t)
+	handled := 0
+	ifs[1].Register("svc", netif.Service{
+		// Interrupt service is slow: 1 ms per message.
+		Cost:   func(*hpc.Message) sim.Duration { return sim.Milliseconds(1) },
+		Handle: func(m *hpc.Message) { handled++ },
+	})
+	delivered := 0
+	for i := 0; i < 2; i++ {
+		ifs[0].SendAsync(1, "svc", 64, i, func() { delivered++ })
+	}
+	// Crash while the first message's ISR is still accruing cost.
+	k.After(sim.Microseconds(100), func() { nodes[1].Crash() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 0 {
+		t.Fatalf("handler ran %d times after crash", handled)
+	}
+	if delivered != 2 {
+		t.Fatalf("fabric delivered %d of 2 (input section wedged?)", delivered)
+	}
+	if ifs[1].DroppedDead == 0 {
+		t.Fatal("pending delivery must be drained on crash")
+	}
+}

@@ -173,6 +173,51 @@ func (t *Topology) ClusterRoute(a, b ClusterID) []ClusterID {
 	return route
 }
 
+// RouteAvoiding returns a shortest cluster route from a to b that
+// traverses no cube link for which down reports true, or nil when the
+// failures partition a from b. Unlike ClusterRoute's fixed dimension-
+// order rule, this is a breadth-first search over the surviving links
+// — the route a self-routing cluster would discover after the failed
+// port is masked out. Neighbors are explored in dimension order, so
+// the result is deterministic for a given failure set. down is
+// consulted with the directed pair (from, to) of every candidate hop.
+func (t *Topology) RouteAvoiding(a, b ClusterID, down func(from, to ClusterID) bool) []ClusterID {
+	if a == b {
+		return []ClusterID{a}
+	}
+	prev := make([]ClusterID, t.nClusters)
+	seen := make([]bool, t.nClusters)
+	seen[a] = true
+	queue := []ClusterID{a}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.Neighbors(c) {
+			if seen[nb] || down(c, nb) {
+				continue
+			}
+			seen[nb] = true
+			prev[nb] = c
+			if nb == b {
+				var rev []ClusterID
+				for x := b; ; x = prev[x] {
+					rev = append(rev, x)
+					if x == a {
+						break
+					}
+				}
+				route := make([]ClusterID, len(rev))
+				for i, x := range rev {
+					route[len(rev)-1-i] = x
+				}
+				return route
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
 // Route returns the clusters a message visits from endpoint src to
 // endpoint dst (at least one cluster; src and dst may share it).
 func (t *Topology) Route(src, dst EndpointID) []ClusterID {

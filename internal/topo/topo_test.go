@@ -228,3 +228,60 @@ func TestAvgHopsAndCubeLinks(t *testing.T) {
 		t.Fatalf("256-cluster links = %d, want 1024", got)
 	}
 }
+
+func TestRouteAvoidingMatchesShortestWhenClean(t *testing.T) {
+	tp, _ := IncompleteHypercube(8, 1)
+	up := func(a, b ClusterID) bool { return false }
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			r := tp.RouteAvoiding(ClusterID(a), ClusterID(b), up)
+			if r == nil {
+				t.Fatalf("no route %d->%d on a healthy cube", a, b)
+			}
+			want := bitsOn(uint(a) ^ uint(b))
+			if len(r)-1 != want {
+				t.Fatalf("route %d->%d has %d hops, want %d", a, b, len(r)-1, want)
+			}
+			if r[0] != ClusterID(a) || r[len(r)-1] != ClusterID(b) {
+				t.Fatalf("route endpoints wrong: %v", r)
+			}
+		}
+	}
+}
+
+func bitsOn(x uint) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestRouteAvoidingDetours(t *testing.T) {
+	tp, _ := IncompleteHypercube(4, 1) // complete 2-cube: 0-1-3, 0-2-3
+	bad := map[[2]ClusterID]bool{{0, 1}: true, {1, 0}: true}
+	down := func(a, b ClusterID) bool { return bad[[2]ClusterID{a, b}] }
+	r := tp.RouteAvoiding(0, 1, down)
+	if len(r) != 4 { // 0 -> 2 -> 3 -> 1
+		t.Fatalf("detour route = %v", r)
+	}
+	for i := 1; i < len(r); i++ {
+		if down(r[i-1], r[i]) {
+			t.Fatalf("route %v uses a down link", r)
+		}
+		if !tp.HasLink(r[i-1], r[i]) {
+			t.Fatalf("route %v uses a non-link", r)
+		}
+	}
+}
+
+func TestRouteAvoidingPartition(t *testing.T) {
+	tp, _ := IncompleteHypercube(2, 1) // one link only
+	bad := func(a, b ClusterID) bool { return true }
+	if r := tp.RouteAvoiding(0, 1, bad); r != nil {
+		t.Fatalf("partitioned pair yielded route %v", r)
+	}
+	if r := tp.RouteAvoiding(1, 1, bad); len(r) != 1 || r[0] != 1 {
+		t.Fatalf("self route = %v", r)
+	}
+}
