@@ -25,6 +25,7 @@ import (
 	"hpcvorx/internal/resmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/stub"
+	"hpcvorx/internal/super"
 	"hpcvorx/internal/topo"
 	"hpcvorx/internal/vorxbench"
 	"hpcvorx/internal/workload"
@@ -41,6 +42,7 @@ commands:
   links     run an all-to-one workload and show the hottest links
   trace     run a mixed workload and print the message-trace summary
   chaos     replay a fault schedule and print the recovery report
+  heal      crash a supervised node and watch checkpoint/restart heal it
 `)
 	os.Exit(2)
 }
@@ -64,6 +66,8 @@ func main() {
 		cmdTrace(os.Args[2:])
 	case "chaos":
 		cmdChaos(os.Args[2:])
+	case "heal":
+		cmdHeal(os.Args[2:])
 	default:
 		usage()
 	}
@@ -184,6 +188,7 @@ func cmdChaos(args []string) {
 	seed := fs.Int64("seed", 1, "fault-engine seed")
 	msgs := fs.Int("msgs", 24, "messages per channel pair")
 	schedFile := fs.String("schedule", "", "fault schedule file (default: built-in demo)")
+	detect := fs.String("detect", "", "oracle crash-detection delay, e.g. 500us (default 2ms)")
 	fs.Parse(args)
 
 	text := demoSchedule
@@ -214,6 +219,14 @@ func cmdChaos(args []string) {
 	eng := fault.New(sys.K, *seed)
 	eng.Bind(sys)
 	eng.BindResmgr(res)
+	if *detect != "" {
+		d, err := fault.ParseDuration(*detect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+		eng.DetectDelay = d
+	}
 	if *hosts > 0 {
 		replicas := 2
 		if *hosts < replicas {
@@ -297,6 +310,138 @@ func cmdChaos(args []string) {
 		fmt.Printf(" (reclaimed: %s)", strings.Join(freed, " "))
 	}
 	fmt.Println()
+	fmt.Printf("  virtual time at quiesce: %v\n", sys.K.Now())
+}
+
+func cmdHeal(args []string) {
+	fs := flag.NewFlagSet("heal", flag.ExitOnError)
+	nodes := fs.Int("nodes", 10, "processing nodes")
+	pairs := fs.Int("pairs", 3, "supervised writer/reader pairs")
+	msgs := fs.Int("msgs", 24, "messages per pair")
+	crash := fs.String("crash", "2ms", "when the victim (pair 0's reader node) dies")
+	hb := fs.String("hb", "500us", "heartbeat period")
+	confirm := fs.String("confirm", "2ms", "heartbeat silence before death is confirmed")
+	ckpt := fs.String("ckpt", "1ms", "checkpoint interval")
+	horizon := fs.String("horizon", "80ms", "supervision horizon (beacons stop here)")
+	fs.Parse(args)
+	if *pairs < 1 || *nodes < 2*(*pairs)+1 {
+		fmt.Fprintf(os.Stderr, "vorx: need at least %d nodes for %d pairs plus a spare\n", 2*(*pairs)+1, *pairs)
+		os.Exit(1)
+	}
+	durs := map[string]sim.Duration{}
+	for name, s := range map[string]*string{"crash": crash, "hb": hb, "confirm": confirm, "ckpt": ckpt, "horizon": horizon} {
+		d, err := fault.ParseDuration(*s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vorx: -%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		durs[name] = d
+	}
+
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	res := resmgr.NewVORX(sys.K, *nodes)
+	if _, err := res.Allocate("app", 2*(*pairs)); err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	cfg := super.Config{
+		HeartbeatEvery:  durs["hb"],
+		ConfirmAfter:    durs["confirm"],
+		CheckpointEvery: durs["ckpt"],
+	}
+	sup := super.New(sys, sys.Host(0), res, cfg)
+
+	eng := fault.New(sys.K, 1)
+	eng.Bind(sys)
+	eng.BindResmgr(res)
+	eng.SetOracle(false) // the supervisor owns detection
+	eng.CrashNodeAt(durs["crash"], *pairs)
+
+	finals := make([][]string, *pairs)
+	for pi := 0; pi < *pairs; pi++ {
+		pi := pi
+		name := fmt.Sprintf("heal%d", pi)
+		writer := sup.NewTask(fmt.Sprintf("writer%d", pi), sys.Node(pi), 0, nil)
+		reader := sup.NewTask(fmt.Sprintf("reader%d", pi), sys.Node(*pairs+pi), 0, nil)
+		writer.SetBody(func(sp *kern.Subprocess, inc *super.Incarnation) {
+			hs := super.RestoreStream(name, inc.State)
+			ch := inc.Chan(name)
+			if ch == nil {
+				ch = inc.Machine.Chans.Open(sp, name, objmgr.OpenAny)
+				writer.Attach(ch)
+			}
+			writer.SetCheckpointer(hs)
+			for hs.Written < *msgs {
+				if err := ch.Write(sp, 256, fmt.Sprintf("m%d", hs.Written)); err != nil {
+					return
+				}
+				hs.Written++
+				sp.SleepFor(300 * sim.Microsecond)
+			}
+		})
+		reader.SetBody(func(sp *kern.Subprocess, inc *super.Incarnation) {
+			hs := super.RestoreStream(name, inc.State)
+			ch := inc.Chan(name)
+			if ch == nil {
+				ch = inc.Machine.Chans.Open(sp, name, objmgr.OpenAny)
+				reader.Attach(ch)
+			}
+			reader.SetCheckpointer(hs)
+			for hs.Read < *msgs {
+				m, ok := ch.Read(sp)
+				if !ok {
+					return // crashed mid-read; the next incarnation resumes
+				}
+				hs.Log = append(hs.Log, m.Payload.(string))
+				hs.Read++
+			}
+			finals[pi] = hs.Log
+		})
+		writer.Launch()
+		reader.Launch()
+	}
+
+	sup.Start()
+	sup.StopAt(durs["horizon"])
+	if err := sys.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("heal on 1 host + %d nodes: %d supervised pairs x %d messages, reader node%d dies at %v\n\n",
+		*nodes, *pairs, *msgs, *pairs, durs["crash"])
+	sup.Report(os.Stdout)
+	fmt.Println("\nexactly-once verification:")
+	clean := 0
+	for pi := 0; pi < *pairs; pi++ {
+		want := make([]string, *msgs)
+		for i := range want {
+			want[i] = fmt.Sprintf("m%d", i)
+		}
+		switch {
+		case finals[pi] == nil:
+			fmt.Printf("  pair %d: reader never finished\n", pi)
+		case strings.Join(finals[pi], ",") != strings.Join(want, ","):
+			fmt.Printf("  pair %d: stream corrupted: %s\n", pi, strings.Join(finals[pi], ","))
+		default:
+			clean++
+		}
+	}
+	fmt.Printf("  %d/%d pairs delivered all %d messages exactly once, in order\n", clean, *pairs, *msgs)
+	if confirmRec, ok := sup.FirstRecord("confirm"); ok {
+		if restartRec, ok2 := sup.FirstRecord("restart"); ok2 {
+			fmt.Printf("  unavailability: crash %v -> confirm %v -> restart %v (window %v)\n",
+				durs["crash"], confirmRec.At, restartRec.At,
+				restartRec.At.Sub(sim.Time(0))-durs["crash"])
+		}
+	}
+	fmt.Printf("  supervisor: %d heartbeats, %d checkpoints, %d restarts, %d rebinds\n",
+		sup.Heartbeats, sup.Checkpoints, sup.Restarts, sup.Rebinds)
+	fmt.Printf("  resmgr: %d force-frees, spare owner: %q\n", res.ForceFrees, "super")
 	fmt.Printf("  virtual time at quiesce: %v\n", sys.K.Now())
 }
 

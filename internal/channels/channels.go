@@ -201,7 +201,7 @@ func (s *Service) PeerDown(ep topo.EndpointID) int {
 	n := 0
 	for _, id := range ids {
 		ch := s.chans[id]
-		if ch.peer == ep && !ch.closedRemote {
+		if ch.peer == ep && !ch.closedRemote && !ch.managed {
 			s.failPeer(ch)
 			n++
 		}
@@ -239,6 +239,17 @@ type Channel struct {
 
 	closedLocal  bool
 	closedRemote bool
+
+	// Supervision (internal/super). A managed end's peer death is
+	// handled by checkpoint/restart migration: retry exhaustion keeps
+	// retransmitting instead of failing the end, and PeerDown skips
+	// it. With retain set, acknowledged writes are kept — payload and
+	// all — until the supervisor advances the peer's stable checkpoint
+	// mark, so a reincarnated peer can be replayed every message its
+	// checkpoint missed.
+	managed  bool
+	retain   bool
+	retained []*outMsg // acknowledged but not yet checkpoint-stable, oldest first
 
 	// cdb-visible counters
 	sent, received int
@@ -385,7 +396,10 @@ func (s *Service) timeoutFire(ch *Channel, om *outMsg) {
 		return
 	}
 	om.tries++
-	if s.maxRetries > 0 && om.tries > s.maxRetries {
+	if s.maxRetries > 0 && om.tries > s.maxRetries && !ch.managed {
+		// A managed end never declares its peer dead on its own: the
+		// supervisor owns that verdict and will Rebind the end to the
+		// reincarnated peer, at which point these retransmissions land.
 		s.failPeer(ch)
 		return
 	}
@@ -418,6 +432,13 @@ func (ch *Channel) remoteGone() {
 	for _, om := range ch.pending {
 		om.timer.Stop()
 	}
+	// A gone peer can never honor a resume: purge its busy-discarded
+	// messages from the starve list, else a freed side buffer is spent
+	// asking a dead sender to retransmit while a live starved channel
+	// waits for the next free — which may never come.
+	ch.svc.dropStarved(ch)
+	// Partially assembled messages will never complete either.
+	ch.assembling = nil
 	if ch.reader != nil {
 		r := ch.reader
 		ch.reader = nil
@@ -431,6 +452,8 @@ func (ch *Channel) remoteGone() {
 	}
 	if mx := ch.mux; mx != nil && mx.waiting {
 		mx.waiting = false
+		mx.from = ch
+		mx.failed = true
 		mx.wake()
 	}
 }
@@ -444,6 +467,115 @@ func (s *Service) failPeer(ch *Channel) {
 	}
 	s.PeerDeaths++
 	ch.remoteGone()
+}
+
+// SetManaged marks the channel end as supervised: its peer's death is
+// the supervisor's verdict (confirmed by heartbeat timeouts), answered
+// with Rebind to a reincarnated peer rather than a peer-death error.
+// With retain set, acknowledged writes are kept until ReleaseRetained
+// advances the peer's stable checkpoint mark, so a restart from
+// checkpoint can be replayed everything the checkpoint missed.
+// Retention can only be turned on, not off: the two ends of a
+// supervised channel enable each other's retention in either order.
+func (ch *Channel) SetManaged(retain bool) {
+	ch.managed = true
+	ch.retain = ch.retain || retain
+}
+
+// Managed reports whether the end is under supervision.
+func (ch *Channel) Managed() bool { return ch.managed }
+
+// RetainedWrites reports how many acknowledged writes the end is
+// holding for possible replay (0 unless retention is on).
+func (ch *Channel) RetainedWrites() int { return len(ch.retained) }
+
+// ByID returns the channel end with the given id on this node, or nil.
+func (s *Service) ByID(id uint64) *Channel { return s.chans[id] }
+
+// Rebind repoints channel id's local end at the reincarnated peer
+// endpoint and replays, in sequence order, every retained or pending
+// write with seq >= resumeFrom — the peer checkpoint's high-water
+// mark. Retained writes below the mark are released (the restored
+// state already accounts for them); pending writes below it will be
+// re-acknowledged as duplicates by the peer's reincarnated sequence
+// state. Returns false when this node has no end of that channel.
+func (s *Service) Rebind(id uint64, newPeer topo.EndpointID, resumeFrom int) bool {
+	ch := s.chans[id]
+	if ch == nil {
+		return false
+	}
+	ch.peer = newPeer
+	s.releaseRetained(ch, resumeFrom)
+	// Retained survivors become pending again: they are unacknowledged
+	// as far as the reincarnated peer is concerned, and pending is what
+	// the busy/resume and timeout machinery knows how to re-send.
+	if len(ch.retained) > 0 {
+		ch.pending = append(ch.retained, ch.pending...)
+		ch.retained = nil
+	}
+	for _, om := range ch.pending {
+		s.retransmitAsync(ch, om)
+		s.armTimer(ch, om)
+	}
+	return true
+}
+
+// FailEnd fails channel id's local end with a peer-death error — the
+// supervisor's path for a managed end whose confirmed-dead peer has no
+// checkpointed task to reincarnate, so no Rebind is coming. Reports
+// whether an end was actually failed.
+func (s *Service) FailEnd(id uint64) bool {
+	ch := s.chans[id]
+	if ch == nil || ch.closedRemote {
+		return false
+	}
+	s.failPeer(ch)
+	return true
+}
+
+// Reincarnate installs a channel end with pre-seeded protocol state on
+// this node — the supervisor's half of endpoint migration. The end
+// keeps its system-wide id and rendezvous name (no objmgr rendezvous:
+// the supervisor already knows the pairing); sendSeq and recvSeq come
+// from the checkpoint's high-water marks, so the restored subprocess's
+// first write carries the next expected sequence number and duplicate
+// replays from the surviving peer are re-acknowledged, not
+// re-delivered.
+func (s *Service) Reincarnate(id uint64, name string, peer topo.EndpointID, sendSeq, recvSeq int) *Channel {
+	ch := &Channel{svc: s, id: id, name: name, peer: peer, window: 1,
+		sendSeq: sendSeq, recvSeq: recvSeq, managed: true}
+	s.chans[id] = ch
+	if frags := s.preopen[id]; len(frags) > 0 {
+		// The peer's rebind replay raced ahead of the reincarnation;
+		// deliver the held fragments in arrival order.
+		delete(s.preopen, id)
+		for _, frag := range frags {
+			s.deliverFrag(ch, frag)
+		}
+	}
+	return ch
+}
+
+// ReleaseRetained drops channel id's retained writes with seq below
+// stable — the peer's checkpoint has captured their effects, so no
+// future restart can need them.
+func (s *Service) ReleaseRetained(id uint64, stable int) {
+	if ch := s.chans[id]; ch != nil {
+		s.releaseRetained(ch, stable)
+	}
+}
+
+func (s *Service) releaseRetained(ch *Channel, stable int) {
+	keep := ch.retained[:0]
+	for _, om := range ch.retained {
+		if om.seq >= stable {
+			keep = append(keep, om)
+		}
+	}
+	for i := len(keep); i < len(ch.retained); i++ {
+		ch.retained[i] = nil
+	}
+	ch.retained = keep
 }
 
 // pendingBySeq finds an un-acknowledged write.
@@ -500,6 +632,18 @@ func (s *Service) releaseSideBuf() {
 		s.starved = s.starved[1:]
 		s.f.SendAsync(r.ch.peer, "chan.resume", AckBytes, resumeMsg{ch: r.ch.id, seq: r.seq}, nil)
 	}
+}
+
+// dropStarved removes every starve record for ch (its peer is gone and
+// can never retransmit).
+func (s *Service) dropStarved(ch *Channel) {
+	keep := s.starved[:0]
+	for _, r := range s.starved {
+		if r.ch != ch {
+			keep = append(keep, r)
+		}
+	}
+	s.starved = keep
 }
 
 // resumeIfStarved sends the retransmission request for ch's oldest
@@ -618,6 +762,13 @@ func (s *Service) handleAck(m *hpc.Message) {
 		if om.seq == a.seq {
 			om.timer.Stop()
 			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
+			if ch.retain {
+				// Keep the acknowledged write until the supervisor's
+				// stable checkpoint mark passes it: an ack only means
+				// the peer's kernel delivered it, not that the peer's
+				// checkpoint captured it.
+				ch.retained = append(ch.retained, om)
+			}
 			break
 		}
 	}
@@ -687,11 +838,16 @@ type Mux struct {
 	wake    func()
 	from    *Channel
 	msg     Msg
+	failed  bool // from's peer died or closed while we waited
 }
 
 // MuxRead blocks sp until any of the given channels has data, then
 // returns the channel and message. Side-buffered data is consumed
-// first (in argument order).
+// first (in argument order). If one channel's peer dies or closes
+// while the reader waits, MuxRead returns that channel with ok=false
+// — the others may still be live, so callers can drop the dead one
+// and mux again. A nil channel with ok=false means every channel in
+// the set is closed.
 func MuxRead(sp *kern.Subprocess, chans ...*Channel) (*Channel, Msg, bool) {
 	if len(chans) == 0 {
 		return nil, Msg{}, false
@@ -729,6 +885,13 @@ func MuxRead(sp *kern.Subprocess, chans ...*Channel) (*Channel, Msg, bool) {
 	sp.System(costs.SchedulerWake)
 	if mx.from == nil {
 		return nil, Msg{}, false
+	}
+	if mx.failed {
+		// One muxed channel's peer died (or closed) mid-wait: return
+		// it with ok=false so the caller can drop that channel and
+		// re-mux on the survivors instead of treating the whole set as
+		// dead.
+		return mx.from, Msg{}, false
 	}
 	mx.from.received++
 	return mx.from, mx.msg, true

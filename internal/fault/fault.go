@@ -52,8 +52,17 @@ type Engine struct {
 
 	// DetectDelay models how long the LAM takes to notice a crashed
 	// machine before survivors are told (peer-death errors, force-
-	// free). Default 2 ms.
+	// free). Default 2 ms. Configurable so oracle detection can be
+	// compared with the supervisor's heartbeat detection at equal
+	// delays (`vorx chaos -detect`).
 	DetectDelay sim.Duration
+	// oracleOff disables the engine's omniscient crash detection: the
+	// engine still crashes machines, but nobody is told — survivors
+	// hang on their timeouts unless a supervision layer
+	// (internal/super) detects the death by heartbeat loss and drives
+	// recovery itself. Kept behind a flag so oracle and heartbeat
+	// detection can be A/B-tested on the same schedule.
+	oracleOff bool
 	// AckTimeout and MaxRetries configure the channel end-to-end
 	// recovery Bind installs on every machine. Defaults: 5 ms, 3.
 	AckTimeout sim.Duration
@@ -83,6 +92,12 @@ func (e *Engine) Bind(sys *core.System) {
 		m.Chans.SetAckTimeout(e.AckTimeout, e.MaxRetries)
 	}
 }
+
+// SetOracle turns the engine's omniscient crash detection on or off.
+// It is on by default (the PR 1 behaviour: PeerDown and force-free
+// fire DetectDelay after every crash). Turn it off when a supervisor
+// owns detection, so deaths are noticed by heartbeat loss instead.
+func (e *Engine) SetOracle(on bool) { e.oracleOff = !on }
 
 // BindResmgr makes node crashes force-free the dead node's processors.
 func (e *Engine) BindResmgr(res *resmgr.VORX) { e.res = res }
@@ -177,6 +192,9 @@ func (e *Engine) crashMachine(m *core.Machine) {
 	}
 	m.Kern.Crash()
 	e.record("crash", "%s", m.Name())
+	if e.oracleOff {
+		return // detection is somebody else's job (internal/super)
+	}
 	e.k.After(e.DetectDelay, func() {
 		if !m.Kern.Crashed() {
 			return // restarted before anyone noticed

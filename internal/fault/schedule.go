@@ -60,6 +60,11 @@ func ParseSchedule(r io.Reader) ([]Op, error) {
 	return ops, nil
 }
 
+// ParseDuration parses a schedule-DSL duration like "500us", "2ms",
+// "1.5s", or "250ns" (exported for command-line flags that share the
+// DSL's syntax, e.g. `vorx chaos -detect 2ms`).
+func ParseDuration(s string) (sim.Duration, error) { return parseDur(s) }
+
 // parseDur parses "500us", "2ms", "1.5s", "250ns".
 func parseDur(s string) (sim.Duration, error) {
 	unit := sim.Duration(0)

@@ -230,6 +230,31 @@ func (n *Node) Restart() {
 // Crashed reports whether the node is currently down.
 func (n *Node) Crashed() bool { return n.crashed }
 
+// Beacon schedules fn every d of virtual time until the returned stop
+// function is called. Ticks that land while the node is crashed are
+// skipped — a dead machine emits nothing — but the chain keeps ticking
+// so a restarted node resumes emitting without rearming. The kernel
+// uses this for supervision heartbeats; fn runs in event context and
+// must not block.
+func (n *Node) Beacon(d sim.Duration, fn func()) (stop func()) {
+	if d <= 0 {
+		panic("kern: Beacon needs a positive period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		if !n.crashed {
+			fn()
+		}
+		n.k.After(d, tick)
+	}
+	n.k.After(d, tick)
+	return func() { stopped = true }
+}
+
 // OnCrash registers a hook run when the node crashes (used by the
 // network interface to free fabric buffers the dead node held).
 func (n *Node) OnCrash(fn func()) { n.onCrash = append(n.onCrash, fn) }

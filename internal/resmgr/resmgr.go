@@ -150,16 +150,28 @@ func NewVORX(k *sim.Kernel, n int) *VORX {
 
 // Allocate reserves n processors for user until explicitly freed.
 func (v *VORX) Allocate(user string, n int) ([]NodeID, error) {
+	return v.AllocateWhere(user, n, nil)
+}
+
+// AllocateWhere reserves n free processors satisfying ok, scanning in
+// ascending id order like Allocate. The supervisor uses it to pick
+// spare nodes for reincarnated subprocesses while excluding machines
+// that are themselves crashed. A nil ok admits every free processor.
+func (v *VORX) AllocateWhere(user string, n int, ok func(NodeID) bool) ([]NodeID, error) {
 	if user == "" {
 		return nil, fmt.Errorf("resmgr: empty user")
 	}
 	var chosen []NodeID
 	for i := range v.owner {
-		if v.owner[i] == "" {
-			chosen = append(chosen, NodeID(i))
-			if len(chosen) == n {
-				break
-			}
+		if v.owner[i] != "" {
+			continue
+		}
+		if ok != nil && !ok(NodeID(i)) {
+			continue
+		}
+		chosen = append(chosen, NodeID(i))
+		if len(chosen) == n {
+			break
 		}
 	}
 	if len(chosen) < n {

@@ -1,0 +1,46 @@
+package super
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StreamState is a ready-made Checkpointer for the common supervised
+// task shape: a single channel, a read/write cursor pair, and a log of
+// consumed payloads. It serializes as "read|written|p0,p1,...", and
+// its marks are exactly its cursors — the mutual-consistency contract
+// Checkpoint requires holds by construction, because cursor and log
+// are advanced together by the task body.
+type StreamState struct {
+	ChName  string
+	Read    int
+	Written int
+	Log     []string
+}
+
+// Checkpoint implements Checkpointer.
+func (ss *StreamState) Checkpoint() (state []byte, marks map[string]Mark) {
+	return []byte(fmt.Sprintf("%d|%d|%s", ss.Read, ss.Written, strings.Join(ss.Log, ","))),
+		map[string]Mark{ss.ChName: {Read: ss.Read, Written: ss.Written}}
+}
+
+// RestoreStream rebuilds a StreamState from a checkpoint snapshot; a
+// nil or empty snapshot (generation 0, or death before the first
+// checkpoint) yields zero cursors and an empty log.
+func RestoreStream(chName string, state []byte) *StreamState {
+	ss := &StreamState{ChName: chName}
+	if len(state) == 0 {
+		return ss
+	}
+	parts := strings.SplitN(string(state), "|", 3)
+	if len(parts) != 3 {
+		return ss
+	}
+	ss.Read, _ = strconv.Atoi(parts[0])
+	ss.Written, _ = strconv.Atoi(parts[1])
+	if parts[2] != "" {
+		ss.Log = strings.Split(parts[2], ",")
+	}
+	return ss
+}

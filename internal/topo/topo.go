@@ -218,6 +218,23 @@ func (t *Topology) RouteAvoiding(a, b ClusterID, down func(from, to ClusterID) b
 	return nil
 }
 
+// Nearest returns the candidate endpoint closest (fewest cluster hops)
+// to from, breaking ties by lowest endpoint id so the choice is
+// deterministic. Returns -1 when candidates is empty. The supervisor
+// uses this to place a reincarnated subprocess on the spare node whose
+// traffic to the surviving peers disturbs the fabric least.
+func (t *Topology) Nearest(from EndpointID, candidates []EndpointID) EndpointID {
+	best := EndpointID(-1)
+	bestHops := 0
+	for _, c := range candidates {
+		h := t.Hops(from, c)
+		if best < 0 || h < bestHops || (h == bestHops && c < best) {
+			best, bestHops = c, h
+		}
+	}
+	return best
+}
+
 // Route returns the clusters a message visits from endpoint src to
 // endpoint dst (at least one cluster; src and dst may share it).
 func (t *Topology) Route(src, dst EndpointID) []ClusterID {

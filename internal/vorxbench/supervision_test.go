@@ -1,0 +1,50 @@
+package vorxbench
+
+import (
+	"testing"
+
+	"hpcvorx/internal/sim"
+)
+
+// TestE13BoundedUnavailabilityExactlyOnce pins the supervision
+// experiment's contract: for every detection interval in the sweep,
+// the unavailability window stays within detection + restart cost, the
+// final stream has zero duplicates and zero losses, and at least one
+// checkpoint was committed before the crash.
+func TestE13BoundedUnavailabilityExactlyOnce(t *testing.T) {
+	for _, h := range []sim.Duration{250 * sim.Microsecond, 1 * sim.Millisecond} {
+		m := e13Run(h)
+		if m.dups != 0 {
+			t.Errorf("H=%v: %d duplicate deliveries, want 0", h, m.dups)
+		}
+		if m.lost != 0 {
+			t.Errorf("H=%v: %d lost messages, want 0", h, m.lost)
+		}
+		if m.detect <= 0 {
+			t.Errorf("H=%v: crash never confirmed", h)
+		}
+		if m.unavail > m.bound {
+			t.Errorf("H=%v: unavailability %v exceeds bound %v", h, m.unavail, m.bound)
+		}
+		if m.checkpoints == 0 {
+			t.Errorf("H=%v: no checkpoints committed", h)
+		}
+		if m.restoredAt < 0 {
+			t.Errorf("H=%v: reader was never restarted from checkpoint", h)
+		}
+		// Faster detection must not cost correctness; the recovered
+		// ratio is governed by the 1 ms checkpoint interval.
+		if m.recovered <= 0 || m.recovered > 1 {
+			t.Errorf("H=%v: recovered-work ratio %.2f out of (0,1]", h, m.recovered)
+		}
+	}
+}
+
+// TestE13Deterministic: one detection interval, two runs, identical
+// metrics — the experiment is seed-stable.
+func TestE13Deterministic(t *testing.T) {
+	a, b := e13Run(500*sim.Microsecond), e13Run(500*sim.Microsecond)
+	if a != b {
+		t.Fatalf("two identical E13 runs diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}

@@ -97,6 +97,7 @@ func All() []*Table {
 		A7CEMUScaling(),
 		F2Scaling(),
 		E12FaultStorm(),
+		E13Supervision(),
 	}
 }
 
@@ -111,7 +112,7 @@ func ByID(id string) *Table {
 		"A3": A3FewReceivers, "A4": A4TopologyTransparency,
 		"A5": A5WindowedChannels,
 		"A6": A6SpiceTransport, "A7": A7CEMUScaling,
-		"F2": F2Scaling, "E12": E12FaultStorm,
+		"F2": F2Scaling, "E12": E12FaultStorm, "E13": E13Supervision,
 	}
 	if g, ok := gens[strings.ToUpper(id)]; ok {
 		return g()
@@ -121,7 +122,7 @@ func ByID(id string) *Table {
 
 // IDs lists the experiment ids in paper order.
 func IDs() []string {
-	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12"}
+	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13"}
 }
 
 func us(f float64) string   { return fmt.Sprintf("%.0f", f) }
