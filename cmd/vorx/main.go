@@ -7,6 +7,7 @@
 //	vorx ping -size 64 -rounds 1000   # channel latency benchmark
 //	vorx download -nodes 70 -tree     # program download timing
 //	vorx alloc                        # allocation-policy walkthrough
+//	vorx trace -demo heal -out t.json # any demo under the unified tracer
 package main
 
 import (
@@ -40,7 +41,9 @@ commands:
   download  time program download to the node pool (paper §3.3)
   alloc     demonstrate the allocation policies (paper §3.1)
   links     run an all-to-one workload and show the hottest links
-  trace     run a mixed workload and print the message-trace summary
+  mix       run a mixed workload and print the message-trace summary
+  trace     run a demo with unified tracing on; emit Chrome JSON,
+            a flight-recorder dump, and the metrics table
   chaos     replay a fault schedule and print the recovery report
   heal      crash a supervised node and watch checkpoint/restart heal it
 `)
@@ -55,21 +58,119 @@ func main() {
 	case "topo":
 		cmdTopo(os.Args[2:])
 	case "ping":
-		cmdPing(os.Args[2:])
+		runPing(os.Args[2:], nil)
 	case "download":
 		cmdDownload(os.Args[2:])
 	case "alloc":
 		vorxbench.E9Allocation().Format(os.Stdout)
 	case "links":
-		cmdLinks(os.Args[2:])
+		runLinks(os.Args[2:], nil)
+	case "mix":
+		runMix(os.Args[2:], nil)
 	case "trace":
 		cmdTrace(os.Args[2:])
 	case "chaos":
-		cmdChaos(os.Args[2:])
+		runChaos(os.Args[2:], nil)
 	case "heal":
-		cmdHeal(os.Args[2:])
+		runHeal(os.Args[2:], nil)
 	default:
 		usage()
+	}
+}
+
+// traceCtx carries the `vorx trace` options into a demo run. A nil
+// *traceCtx leaves the system tracer disabled, so the plain commands
+// are byte-identical to their untraced behaviour.
+type traceCtx struct {
+	out     string // Chrome trace_event JSON path
+	flight  string // flight-recorder text path
+	ring    int    // bounded-memory mode: keep newest N events
+	metrics bool   // print the metrics table
+}
+
+// arm enables tracing on a freshly built system. Call before any
+// traffic runs.
+func (tc *traceCtx) arm(sys *core.System) {
+	if tc == nil {
+		return
+	}
+	sys.Trace.Enable()
+	if tc.ring > 0 {
+		sys.Trace.SetLimit(tc.ring)
+	}
+}
+
+// finish writes the requested trace artifacts and the metrics table.
+func (tc *traceCtx) finish(sys *core.System) {
+	if tc == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Printf("trace: %d events recorded", sys.Trace.Len())
+	if d := sys.Trace.Dropped(); d > 0 {
+		fmt.Printf(" (%d older events dropped by -ring %d)", d, tc.ring)
+	}
+	fmt.Println()
+	if tc.out != "" {
+		f, err := os.Create(tc.out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+		if err := sys.Trace.WriteChrome(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: Chrome trace_event JSON -> %s (open in Perfetto or chrome://tracing)\n", tc.out)
+	}
+	if tc.flight != "" {
+		f, err := os.Create(tc.flight)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+		if err := sys.Trace.WriteFlight(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: flight recorder -> %s\n", tc.flight)
+	}
+	if tc.metrics {
+		fmt.Println("\nmetrics at quiesce:")
+		sys.Trace.Metrics().WriteTable(os.Stdout)
+	}
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	demo := fs.String("demo", "mix", "demo to trace: mix, ping, links, chaos, heal")
+	out := fs.String("out", "", "write Chrome trace_event JSON here")
+	flight := fs.String("flight", "", "write the flight-recorder text dump here")
+	ring := fs.Int("ring", 0, "bounded memory: keep only the newest N events (0 = unbounded)")
+	metrics := fs.Bool("metrics", true, "print the metrics table after the run")
+	fs.Parse(args)
+	tc := &traceCtx{out: *out, flight: *flight, ring: *ring, metrics: *metrics}
+	rest := fs.Args()
+	switch *demo {
+	case "mix":
+		runMix(rest, tc)
+	case "ping":
+		runPing(rest, tc)
+	case "links":
+		runLinks(rest, tc)
+	case "chaos":
+		runChaos(rest, tc)
+	case "heal":
+		runHeal(rest, tc)
+	default:
+		fmt.Fprintf(os.Stderr, "vorx trace: unknown demo %q (want mix, ping, links, chaos, heal)\n", *demo)
+		os.Exit(2)
 	}
 }
 
@@ -111,7 +212,7 @@ func cmdTopo(args []string) {
 	}
 }
 
-func cmdPing(args []string) {
+func runPing(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("ping", flag.ExitOnError)
 	size := fs.Int("size", 4, "message size in bytes")
 	rounds := fs.Int("rounds", 1000, "messages to send")
@@ -121,12 +222,14 @@ func cmdPing(args []string) {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
 	}
+	tc.arm(sys)
 	us := workload.ChannelLatency(sys, sys.Node(0), sys.Node(1), *size, *rounds)
 	fmt.Printf("channel latency, %d-byte messages over %d rounds: %.1f µs/msg\n", *size, *rounds, us)
 	fmt.Printf("(paper, Table 2: 303/341/474/997 µs at 4/64/256/1024 bytes)\n")
+	tc.finish(sys)
 }
 
-func cmdLinks(args []string) {
+func runLinks(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("links", flag.ExitOnError)
 	nodes := fs.Int("nodes", 20, "processing nodes")
 	msgs := fs.Int("msgs", 10, "messages per sender")
@@ -136,6 +239,7 @@ func cmdLinks(args []string) {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
 	}
+	tc.arm(sys)
 	mk := workload.ManyToOne(sys, 800, *msgs)
 	fmt.Printf("all-to-one workload on %d nodes finished in %v\n", *nodes, mk)
 	fmt.Printf("%-14s %10s %10s\n", "LINK", "MESSAGES", "BUSY")
@@ -150,10 +254,11 @@ func cmdLinks(args []string) {
 	}
 	hot := sys.IC.HottestLink()
 	fmt.Printf("hottest: %s — the sink's down-link, as expected for many-to-one\n", hot.Name)
+	tc.finish(sys)
 }
 
-func cmdTrace(args []string) {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+func runMix(args []string, tc *traceCtx) {
+	fs := flag.NewFlagSet("mix", flag.ExitOnError)
 	nodes := fs.Int("nodes", 6, "processing nodes")
 	fs.Parse(args)
 	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
@@ -161,6 +266,7 @@ func cmdTrace(args []string) {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
 	}
+	tc.arm(sys)
 	mt := netif.NewMsgTrace()
 	for _, m := range sys.Machines() {
 		mt.Attach(m.IF)
@@ -169,6 +275,7 @@ func cmdTrace(args []string) {
 	res := workload.OpenStorm(sys, 3)
 	fmt.Printf("workload done (storm of %d opens included)\n\n", res.Opens)
 	mt.Summarize(os.Stdout)
+	tc.finish(sys)
 }
 
 // demoSchedule is the built-in fault schedule replayed when no
@@ -181,7 +288,7 @@ const demoSchedule = `# built-in demo storm
 12ms  restart node6
 `
 
-func cmdChaos(args []string) {
+func runChaos(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	hosts := fs.Int("hosts", 2, "host workstations")
 	nodes := fs.Int("nodes", 14, "processing nodes")
@@ -211,6 +318,7 @@ func cmdChaos(args []string) {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
 	}
+	tc.arm(sys)
 	res := resmgr.NewVORX(sys.K, *nodes)
 	if _, err := res.Allocate("alice", *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
@@ -311,9 +419,10 @@ func cmdChaos(args []string) {
 	}
 	fmt.Println()
 	fmt.Printf("  virtual time at quiesce: %v\n", sys.K.Now())
+	tc.finish(sys)
 }
 
-func cmdHeal(args []string) {
+func runHeal(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("heal", flag.ExitOnError)
 	nodes := fs.Int("nodes", 10, "processing nodes")
 	pairs := fs.Int("pairs", 3, "supervised writer/reader pairs")
@@ -343,6 +452,7 @@ func cmdHeal(args []string) {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
 	}
+	tc.arm(sys)
 	res := resmgr.NewVORX(sys.K, *nodes)
 	if _, err := res.Allocate("app", 2*(*pairs)); err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
@@ -443,6 +553,7 @@ func cmdHeal(args []string) {
 		sup.Heartbeats, sup.Checkpoints, sup.Restarts, sup.Rebinds)
 	fmt.Printf("  resmgr: %d force-frees, spare owner: %q\n", res.ForceFrees, "super")
 	fmt.Printf("  virtual time at quiesce: %v\n", sys.K.Now())
+	tc.finish(sys)
 }
 
 func cmdDownload(args []string) {

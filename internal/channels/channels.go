@@ -31,6 +31,7 @@ import (
 	"hpcvorx/internal/objmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/trace"
 )
 
 // Wire-format constants.
@@ -100,6 +101,7 @@ type dataFrag struct {
 	last       bool
 	payload    any // carried on the last fragment
 	retransmit bool
+	tid        uint64 // originating write's trace ID (0 untraced)
 }
 
 type ackMsg struct {
@@ -120,6 +122,7 @@ type closeMsg struct{ ch uint64 }
 type starveRec struct {
 	ch  *Channel
 	seq int
+	tid uint64
 }
 
 // NewService attaches the channel service to a node's network
@@ -164,6 +167,12 @@ func NewService(f *netif.IF, mgr *objmgr.Manager) *Service {
 
 // Interface returns the node interface the service runs on.
 func (s *Service) Interface() *netif.IF { return s.f }
+
+// tracer returns the node's unified event tracer (possibly nil).
+func (s *Service) tracer() *trace.Tracer { return s.f.Node().Tracer() }
+
+// lane is the trace lane a channel's events land on.
+func (ch *Channel) lane() string { return "chan/" + ch.name }
 
 // SetSideBuffers resizes the side-buffer pool (for ablation studies;
 // the paper's kernel had "many"). Call before traffic flows.
@@ -267,6 +276,7 @@ type outMsg struct {
 	payload any
 	timer   sim.Timer // end-to-end ack timeout (zero when disabled)
 	tries   int       // timeout retransmissions so far
+	tid     uint64    // trace ID threading this write through the stack
 }
 
 // SetWindow sets the channel end's write window (>=1). Call before
@@ -329,6 +339,14 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 	om := &outMsg{seq: ch.sendSeq, size: size, payload: payload}
 	ch.sendSeq++
 	ch.pending = append(ch.pending, om)
+	if tr := ch.svc.tracer(); tr.Enabled() {
+		om.tid = tr.NewTraceID()
+		node := ch.svc.f.Node().Name()
+		tr.Emit(trace.KWrite, om.tid, node, ch.lane(),
+			fmt.Sprintf("seq=%d %dB ->ep%d", om.seq, size, ch.peer))
+		tr.Count("chan.written", 1)
+		tr.Count("chan.bytes_written", float64(size))
+	}
 	if err := ch.sendFragments(sp, om, false); err != nil {
 		ch.dropPending(om)
 		return fmt.Errorf("channels: write on %q: %w", ch.name, err)
@@ -359,11 +377,13 @@ func (ch *Channel) sendFragments(sp *kern.Subprocess, om *outMsg, retrans bool) 
 			n = MaxFragment
 		}
 		last := off+n >= om.size
-		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: retrans}
+		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: retrans, tid: om.tid}
 		if last {
 			frag.payload = om.payload
 		}
-		if err := ch.svc.f.Send(sp, ch.peer, "chan", n+HeaderBytes, frag); err != nil {
+		ch.svc.tracer().Emit(trace.KFragment, om.tid, ch.svc.f.Node().Name(), ch.lane(),
+			fmt.Sprintf("seq=%d off=%d %dB", om.seq, off, n))
+		if err := ch.svc.f.SendCtx(sp, om.tid, ch.peer, "chan", n+HeaderBytes, frag); err != nil {
 			return err
 		}
 	}
@@ -411,17 +431,22 @@ func (s *Service) timeoutFire(ch *Channel, om *outMsg) {
 // retransmitAsync re-sends every fragment of om from the kernel (the
 // writing process is still blocked, so its buffer is intact).
 func (s *Service) retransmitAsync(ch *Channel, om *outMsg) {
+	if tr := s.tracer(); tr.Enabled() {
+		tr.Emit(trace.KRetransmit, om.tid, s.f.Node().Name(), ch.lane(),
+			fmt.Sprintf("seq=%d %dB tries=%d ->ep%d", om.seq, om.size, om.tries, ch.peer))
+		tr.Count("chan.retransmits_sent", 1)
+	}
 	for off := 0; off < om.size; off += MaxFragment {
 		n := om.size - off
 		if n > MaxFragment {
 			n = MaxFragment
 		}
 		last := off+n >= om.size
-		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: true}
+		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: true, tid: om.tid}
 		if last {
 			frag.payload = om.payload
 		}
-		s.f.SendAsync(ch.peer, "chan", n+HeaderBytes, frag, nil)
+		s.f.SendAsyncCtx(om.tid, ch.peer, "chan", n+HeaderBytes, frag, nil)
 	}
 }
 
@@ -598,6 +623,8 @@ func (ch *Channel) Read(sp *kern.Subprocess) (Msg, bool) {
 		// Side-buffered data costs an extra kernel-to-user copy.
 		sp.System(costs.KernelCopyTime(m.Size))
 		ch.received++
+		ch.svc.tracer().Emit(trace.KRead, 0, ch.svc.f.Node().Name(), ch.lane(),
+			fmt.Sprintf("%dB buffered", m.Size))
 		return m, true
 	}
 	if ch.closedRemote || ch.closedLocal {
@@ -613,6 +640,8 @@ func (ch *Channel) Read(sp *kern.Subprocess) (Msg, bool) {
 		return Msg{}, false
 	}
 	ch.received++
+	ch.svc.tracer().Emit(trace.KRead, 0, ch.svc.f.Node().Name(), ch.lane(),
+		fmt.Sprintf("%dB", br.msg.Size))
 	return br.msg, true
 }
 
@@ -627,11 +656,20 @@ func (ch *Channel) takeReady() Msg {
 
 func (s *Service) releaseSideBuf() {
 	s.sideBufFree++
+	s.traceSideBuf()
 	if len(s.starved) > 0 {
 		r := s.starved[0]
 		s.starved = s.starved[1:]
-		s.f.SendAsync(r.ch.peer, "chan.resume", AckBytes, resumeMsg{ch: r.ch.id, seq: r.seq}, nil)
+		s.sendResume(r)
 	}
+}
+
+// sendResume asks a starved sender to retransmit its busy-discarded
+// message.
+func (s *Service) sendResume(r starveRec) {
+	s.tracer().Emit(trace.KResume, r.tid, s.f.Node().Name(), r.ch.lane(),
+		fmt.Sprintf("seq=%d ->ep%d", r.seq, r.ch.peer))
+	s.f.SendAsyncCtx(r.tid, r.ch.peer, "chan.resume", AckBytes, resumeMsg{ch: r.ch.id, seq: r.seq}, nil)
 }
 
 // dropStarved removes every starve record for ch (its peer is gone and
@@ -654,7 +692,7 @@ func (s *Service) resumeIfStarved(ch *Channel) {
 	for i, r := range s.starved {
 		if r.ch == ch {
 			s.starved = append(s.starved[:i], s.starved[i+1:]...)
-			s.f.SendAsync(ch.peer, "chan.resume", AckBytes, resumeMsg{ch: ch.id, seq: r.seq}, nil)
+			s.sendResume(r)
 			return
 		}
 	}
@@ -690,14 +728,14 @@ func (s *Service) deliverFrag(ch *Channel, frag dataFrag) {
 
 	if frag.seq < ch.recvSeq {
 		// Duplicate of an already-accepted message: re-acknowledge.
-		s.ack(ch, frag.seq)
+		s.ack(ch, frag.seq, frag.tid)
 		return
 	}
 	if frag.seq > ch.recvSeq {
 		// Ahead of the stream (a predecessor was busy-discarded):
 		// discard and schedule a retransmission behind it, which
 		// restores order.
-		s.busy(ch, frag.seq)
+		s.busy(ch, frag.seq, frag.tid)
 		return
 	}
 
@@ -708,37 +746,44 @@ func (s *Service) deliverFrag(ch *Channel, frag dataFrag) {
 		ch.reader = nil
 		r.msg, r.ok = msg, true
 		r.wake()
-		s.Delivered++
-		ch.recvSeq++
-		s.ack(ch, frag.seq)
+		s.accept(ch, frag, "fast-path")
 		return
 	}
 	if ch.mux != nil {
 		mx := ch.mux
 		mx.deliver(ch, msg)
-		s.Delivered++
-		ch.recvSeq++
-		s.ack(ch, frag.seq)
+		s.accept(ch, frag, "mux")
 		return
 	}
 	// No reader: side-buffer the message.
 	if s.sideBufFree > 0 {
 		s.sideBufFree--
+		s.traceSideBuf()
 		ch.ready = append(ch.ready, msg)
-		s.Delivered++
-		ch.recvSeq++
-		s.ack(ch, frag.seq)
+		s.accept(ch, frag, "side-buffer")
 		return
 	}
 	// Out of side buffers: ask the sender to retransmit later.
-	s.busy(ch, frag.seq)
+	s.busy(ch, frag.seq, frag.tid)
 }
 
-func (s *Service) ack(ch *Channel, seq int) {
-	s.f.SendAsync(ch.peer, "chan.ack", AckBytes, ackMsg{ch: ch.id, seq: seq}, nil)
+// accept finishes an in-order delivery: counters, sequencing, ack.
+func (s *Service) accept(ch *Channel, frag dataFrag, how string) {
+	s.Delivered++
+	ch.recvSeq++
+	if tr := s.tracer(); tr.Enabled() {
+		tr.Emit(trace.KChanDel, frag.tid, s.f.Node().Name(), ch.lane(),
+			fmt.Sprintf("seq=%d %dB %s", frag.seq, frag.total, how))
+		tr.Count("chan.delivered", 1)
+	}
+	s.ack(ch, frag.seq, frag.tid)
 }
 
-func (s *Service) busy(ch *Channel, seq int) {
+func (s *Service) ack(ch *Channel, seq int, tid uint64) {
+	s.f.SendAsyncCtx(tid, ch.peer, "chan.ack", AckBytes, ackMsg{ch: ch.id, seq: seq}, nil)
+}
+
+func (s *Service) busy(ch *Channel, seq int, tid uint64) {
 	// Suppress duplicate starve records for the same message (a
 	// retransmission can race a second busy).
 	for _, r := range s.starved {
@@ -747,8 +792,20 @@ func (s *Service) busy(ch *Channel, seq int) {
 		}
 	}
 	s.Busies++
-	s.starved = append(s.starved, starveRec{ch: ch, seq: seq})
-	s.f.SendAsync(ch.peer, "chan.busy", AckBytes, busyMsg{ch: ch.id, seq: seq}, nil)
+	if tr := s.tracer(); tr.Enabled() {
+		tr.Emit(trace.KBusy, tid, s.f.Node().Name(), ch.lane(),
+			fmt.Sprintf("seq=%d sidebuf-free=%d", seq, s.sideBufFree))
+		tr.Count("chan.busies", 1)
+	}
+	s.starved = append(s.starved, starveRec{ch: ch, seq: seq, tid: tid})
+	s.f.SendAsyncCtx(tid, ch.peer, "chan.busy", AckBytes, busyMsg{ch: ch.id, seq: seq}, nil)
+}
+
+// traceSideBuf exports the side-buffer pool headroom as a gauge.
+func (s *Service) traceSideBuf() {
+	if tr := s.tracer(); tr.Enabled() {
+		tr.GaugeSet("chan.sidebuf."+s.f.Node().Name(), float64(s.sideBufFree))
+	}
 }
 
 // handleAck runs at interrupt level on the writer's node.
@@ -762,6 +819,8 @@ func (s *Service) handleAck(m *hpc.Message) {
 		if om.seq == a.seq {
 			om.timer.Stop()
 			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
+			s.tracer().Emit(trace.KAck, om.tid, s.f.Node().Name(), ch.lane(),
+				fmt.Sprintf("seq=%d", a.seq))
 			if ch.retain {
 				// Keep the acknowledged write until the supervisor's
 				// stable checkpoint mark passes it: an ack only means
@@ -825,6 +884,7 @@ func (ch *Channel) Close(sp *kern.Subprocess) {
 	costs := ch.svc.f.Node().Costs()
 	sp.Syscall(costs.ChanAckProto)
 	ch.closedLocal = true
+	ch.svc.tracer().Emit(trace.KClose, 0, ch.svc.f.Node().Name(), ch.lane(), "")
 	ch.svc.f.SendAsync(ch.peer, "chan.close", AckBytes, closeMsg{ch: ch.id}, nil)
 }
 

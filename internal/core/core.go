@@ -21,6 +21,7 @@ import (
 	"hpcvorx/internal/objmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/trace"
 )
 
 // Config describes the machine to build.
@@ -66,6 +67,10 @@ type System struct {
 	Topo  *topo.Topology
 	IC    *hpc.Interconnect
 	Mgr   *objmgr.Manager
+	// Trace is the system-wide event tracer, wired through every layer
+	// but created disabled: until Trace.Enable() is called it records
+	// nothing and perturbs nothing.
+	Trace *trace.Tracer
 
 	hosts []*Machine
 	nodes []*Machine
@@ -101,8 +106,11 @@ func Build(cfg Config) (*System, error) {
 	}
 
 	k := sim.NewKernel(cfg.Seed)
+	tr := trace.New(k) // disabled until a caller opts in
+	k.SetProbe(tr)
 	ic := hpc.New(k, costs, tp)
-	sys := &System{K: k, Costs: costs, Topo: tp, IC: ic, byEP: make(map[topo.EndpointID]*Machine)}
+	ic.SetTracer(tr)
+	sys := &System{K: k, Costs: costs, Topo: tp, IC: ic, Trace: tr, byEP: make(map[topo.EndpointID]*Machine)}
 
 	// Host workstations (SUN 3s) copy faster than the 68020 nodes;
 	// everything else is inherited from the calibrated model.
@@ -116,6 +124,7 @@ func Build(cfg Config) (*System, error) {
 			c = &hostCosts
 		}
 		kn := kern.NewNode(k, c, name)
+		kn.SetTracer(tr)
 		m := &Machine{Kern: kn, IF: netif.Attach(kn, ic, ep), EP: ep, Host: host, Index: idx}
 		sys.byEP[ep] = m
 		return m

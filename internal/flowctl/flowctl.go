@@ -21,6 +21,7 @@ import (
 
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/snet"
+	"hpcvorx/internal/trace"
 )
 
 // Strategy reliably delivers messages over an S/NET, recovering from
@@ -44,6 +45,9 @@ type SpinRetry struct {
 	MaxAttempts int
 	// GaveUp counts sends abandoned at MaxAttempts.
 	GaveUp int
+	// Tracer, when set and enabled, records each retry as a KFlow
+	// event and counts retries under "flowctl.spin.retries".
+	Tracer *trace.Tracer
 }
 
 // Name implements Strategy.
@@ -59,7 +63,12 @@ func (s *SpinRetry) Send(p *sim.Proc, src *snet.Station, dst, size int, payload 
 		}
 		if s.MaxAttempts > 0 && attempts >= s.MaxAttempts {
 			s.GaveUp++
+			s.Tracer.Emit(trace.KFlow, 0, "snet", "flowctl", fmt.Sprintf("spin gave-up dst=%d after %d", dst, attempts))
 			return attempts
+		}
+		if tr := s.Tracer; tr.Enabled() {
+			tr.Emit(trace.KFlow, 0, "snet", "flowctl", fmt.Sprintf("spin retry dst=%d attempt=%d", dst, attempts))
+			tr.Count("flowctl.spin.retries", 1)
 		}
 		ta := s.Turnaround
 		if ta == 0 {
@@ -76,6 +85,9 @@ type RandomBackoff struct {
 	// throughput degenerates to the timeout rate, so Max directly
 	// sets the many-to-one bandwidth.
 	Max sim.Duration
+	// Tracer, when set and enabled, records each backoff wait as a
+	// KFlow event and counts them under "flowctl.backoff.waits".
+	Tracer *trace.Tracer
 }
 
 // Name implements Strategy.
@@ -93,7 +105,12 @@ func (b *RandomBackoff) Send(p *sim.Proc, src *snet.Station, dst, size int, payl
 		if max <= 0 {
 			max = int64(sim.Millisecond)
 		}
-		p.Sleep(sim.Duration(1 + p.Kernel().Rand().Int63n(max)))
+		wait := sim.Duration(1 + p.Kernel().Rand().Int63n(max))
+		if tr := b.Tracer; tr.Enabled() {
+			tr.Emit(trace.KFlow, 0, "snet", "flowctl", fmt.Sprintf("backoff dst=%d wait=%v", dst, wait))
+			tr.Count("flowctl.backoff.waits", 1)
+		}
+		p.Sleep(wait)
 	}
 }
 
@@ -121,7 +138,12 @@ type Reservation struct {
 	grants  []*sim.Cond       // receiver manager wakes when data arrives
 	cts     []*sim.Cond       // sender wakes when its CTS arrives
 	userFns []func(m snet.Message)
+	tracer  *trace.Tracer
 }
+
+// SetTracer installs the unified event tracer: RTS, CTS waits, and
+// data sends become KFlow events under the "snet"/"flowctl" lane.
+func (r *Reservation) SetTracer(t *trace.Tracer) { r.tracer = t }
 
 // NewReservation wires the protocol onto every station of nw and
 // starts the per-station grant managers and drain kernels.
@@ -183,6 +205,7 @@ func (r *Reservation) Send(p *sim.Proc, src *snet.Station, dst, size int, payloa
 	// The RTS itself is small; the protocol invariant (FIFO holds one
 	// data message plus an RTS from every processor) means it always
 	// fits, but retry defensively.
+	r.tracer.Emit(trace.KFlow, 0, "snet", "flowctl", fmt.Sprintf("rts %d->%d", src.ID(), dst))
 	for {
 		transfers++
 		if src.Send(p, dst, rtsBytes, rtsMsg{src: src.ID()}) == snet.Delivered {
@@ -191,6 +214,7 @@ func (r *Reservation) Send(p *sim.Proc, src *snet.Station, dst, size int, payloa
 		p.Sleep(10 * sim.Microsecond)
 	}
 	r.cts[src.ID()].Wait(p)
+	r.tracer.Emit(trace.KFlow, 0, "snet", "flowctl", fmt.Sprintf("cts %d<-%d", src.ID(), dst))
 	for {
 		transfers++
 		if src.Send(p, dst, size, dataMsg{payload: payload, user: r.userFns[dst]}) == snet.Delivered {

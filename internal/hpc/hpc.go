@@ -24,6 +24,7 @@ import (
 	"hpcvorx/internal/m68k"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/trace"
 )
 
 // Message is a hardware message in flight. Payload is opaque to the
@@ -33,6 +34,10 @@ type Message struct {
 	Size     int
 	Payload  any
 	Tag      string // optional label for tracing and debugging
+	// Trace is the causal trace ID threading this message's journey
+	// through the event tracer. Zero (tracing off, or an untraced
+	// send) means the fabric assigns one itself when tracing is on.
+	Trace uint64
 }
 
 // Delivery hands an arrived message to an endpoint. The endpoint owns
@@ -87,7 +92,25 @@ type Interconnect struct {
 	// so an idle fault engine leaves behaviour bit-identical.
 	downCubes int
 
-	stats Stats
+	stats  Stats
+	tracer *trace.Tracer
+}
+
+// SetTracer installs the unified event tracer. Fabric events land
+// under the "fabric" process, one lane per directed link, so a message
+// can be followed hop-by-hop; per-link wait-queue depth is exported as
+// a gauge and backpressure stalls as a counter.
+func (ic *Interconnect) SetTracer(t *trace.Tracer) { ic.tracer = t }
+
+// Tracer returns the interconnect's tracer (possibly nil).
+func (ic *Interconnect) Tracer() *trace.Tracer { return ic.tracer }
+
+// msgDetail renders the constant facts of a message for event details.
+func msgDetail(m *Message) string {
+	if m.Tag != "" {
+		return fmt.Sprintf("%s %dB %d->%d", m.Tag, m.Size, m.Src, m.Dst)
+	}
+	return fmt.Sprintf("%dB %d->%d", m.Size, m.Src, m.Dst)
 }
 
 // New builds an interconnect over the given topology.
@@ -318,10 +341,14 @@ func (ic *Interconnect) TrySend(msg *Message, onDelivered func(*Message)) (bool,
 	if err != nil {
 		return false, err
 	}
+	if ic.tracer.Enabled() && msg.Trace == 0 {
+		msg.Trace = ic.tracer.NewTraceID()
+	}
 	t := &transfer{msg: msg, links: links, onDelivered: onDelivered}
 	out.occupant = t
 	t.holder = out
 	ic.stats.MessagesSent++
+	ic.tracer.Emit(trace.KEnqueue, msg.Trace, "fabric", ic.outSec[msg.Src].name, msgDetail(msg))
 	t.links[0].request(t)
 	return true, nil
 }
@@ -514,6 +541,31 @@ func (l *link) request(t *transfer) {
 	}
 	l.waitQ = append(l.waitQ, t)
 	l.tryStart()
+	if tr := l.ic.tracer; tr.Enabled() {
+		// Still queued after tryStart ⇒ the transfer is stalled here.
+		for _, q := range l.waitQ {
+			if q == t {
+				tr.Emit(trace.KBlocked, t.msg.Trace, "fabric", l.name, l.stallReason())
+				tr.Count("hpc.blocked", 1)
+				tr.GaugeSet("hpc.q."+l.name, float64(len(l.waitQ)))
+				break
+			}
+		}
+	}
+}
+
+// stallReason explains why the link cannot transmit right now.
+func (l *link) stallReason() string {
+	switch {
+	case l.down:
+		return "link-down"
+	case l.busy:
+		return "link-busy"
+	case l.into.occupant != nil:
+		return "buffer-full"
+	default:
+		return "queued"
+	}
 }
 
 // tryStart begins the next queued transmission if the link is up and
@@ -527,6 +579,10 @@ func (l *link) tryStart() {
 	l.busy = true
 	l.into.occupant = t // reserve: "room for an entire message"
 	l.lastStart = l.ic.k.Now()
+	if tr := l.ic.tracer; tr.Enabled() {
+		tr.Emit(trace.KAcquire, t.msg.Trace, "fabric", l.name, msgDetail(t.msg))
+		tr.GaugeSet("hpc.q."+l.name, float64(len(l.waitQ)))
+	}
 	wire := l.ic.costs.WireTime(t.msg.Size)
 	if l.slowdown > 1 {
 		wire = sim.Duration(float64(wire) * l.slowdown)
@@ -541,6 +597,7 @@ func (l *link) complete(t *transfer) {
 	l.busy = false
 	l.busyTime += l.ic.k.Now().Sub(l.lastStart)
 	l.count++
+	l.ic.tracer.EmitSpan(trace.KHop, t.msg.Trace, "fabric", l.name, l.lastStart, msgDetail(t.msg))
 
 	// Free the upstream buffer the message just vacated.
 	if t.holder != nil {
@@ -565,6 +622,11 @@ func (l *link) complete(t *transfer) {
 	// Arrived in the destination input section.
 	l.ic.stats.MessagesDelivered++
 	l.ic.stats.BytesDelivered += int64(t.msg.Size)
+	if tr := l.ic.tracer; tr.Enabled() {
+		tr.Emit(trace.KDeliver, t.msg.Trace, "fabric", l.into.name, msgDetail(t.msg))
+		tr.Count("hpc.delivered", 1)
+		tr.Count("hpc.bytes", float64(t.msg.Size))
+	}
 	d := &Delivery{Msg: t.msg, release: func() {
 		l.into.occupant = nil
 		l.tryStart()

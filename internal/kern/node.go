@@ -17,6 +17,7 @@ import (
 
 	"hpcvorx/internal/m68k"
 	"hpcvorx/internal/sim"
+	"hpcvorx/internal/trace"
 )
 
 // Category classifies how a node spends its time.
@@ -55,6 +56,17 @@ func (c Category) String() string {
 // Categories lists all categories in display order.
 func Categories() []Category {
 	return []Category{CatUser, CatSystem, CatIdleInput, CatIdleOutput, CatIdleMixed, CatIdleOther}
+}
+
+// ParseCategory resolves an oscilloscope label back to its Category
+// (the inverse of String), for loading recorded traces.
+func ParseCategory(s string) (Category, bool) {
+	for _, c := range Categories() {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // Interval is one accounted span of node time.
@@ -105,6 +117,7 @@ type Node struct {
 	acctBusy  bool // accounting an active (non-idle) span
 	totals    [numCategories]sim.Duration
 	sink      TraceSink
+	tracer    *trace.Tracer
 
 	// CtxSwitches counts full context switches performed.
 	CtxSwitches int
@@ -137,6 +150,15 @@ func (n *Node) Subprocesses() []*Subprocess { return n.subs }
 // SetTraceSink installs the oscilloscope trace consumer.
 func (n *Node) SetTraceSink(s TraceSink) { n.sink = s }
 
+// SetTracer installs the unified event tracer: every closed accounting
+// interval becomes a KAccount span on this node's "cpu" lane, and
+// crash/restart become instants. Nil-safe; a disabled tracer costs one
+// predicate per interval.
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// Tracer returns the node's unified tracer (possibly nil).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
 // Totals returns the accumulated time per category, closing the
 // in-progress interval as of now.
 func (n *Node) Totals() map[Category]sim.Duration {
@@ -157,6 +179,7 @@ func (n *Node) account(cat Category) {
 		if n.sink != nil {
 			n.sink(n, Interval{Start: n.acctSince, End: now, Cat: n.acctCat})
 		}
+		n.tracer.EmitSpan(trace.KAccount, 0, n.name, "cpu", n.acctSince, n.acctCat.String())
 	}
 	n.acctCat = cat
 	n.acctSince = now
@@ -210,6 +233,7 @@ func (n *Node) Crash() {
 		sp.waitKind = WaitNone
 	}
 	n.account(CatIdleOther)
+	n.tracer.Emit(trace.KCrash, 0, n.name, "cpu", "")
 	for _, fn := range n.onCrash {
 		fn()
 	}
@@ -225,6 +249,7 @@ func (n *Node) Restart() {
 	n.crashed = false
 	n.lastSP = nil
 	n.account(n.idleCategory())
+	n.tracer.Emit(trace.KRestart, 0, n.name, "cpu", "")
 }
 
 // Crashed reports whether the node is currently down.

@@ -21,6 +21,7 @@ import (
 	"hpcvorx/internal/kern"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/trace"
 )
 
 // Envelope is the payload wrapper that names the destination service.
@@ -108,6 +109,8 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			d.Release()
 			return
 		}
+		node.Tracer().Emit(trace.KService, d.Msg.Trace, node.Name(), "svc/"+env.Service,
+			fmt.Sprintf("%dB from %d", d.Msg.Size, d.Msg.Src))
 		if svc.NoInterrupt {
 			// Raw deliveries hand the Delivery to the service, which
 			// owns releasing it; they are not crash-tracked.
@@ -158,10 +161,18 @@ func (f *IF) Register(name string, svc Service) {
 // (headers included). No CPU is charged here: callers model their own
 // protocol costs.
 func (f *IF) Send(sp *kern.Subprocess, dst topo.EndpointID, service string, size int, body any) error {
+	return f.SendCtx(sp, 0, dst, service, size, body)
+}
+
+// SendCtx is Send carrying an explicit trace ID (0 for untraced), so a
+// protocol layer can thread one causal ID through every wire message a
+// logical operation produces.
+func (f *IF) SendCtx(sp *kern.Subprocess, tid uint64, dst topo.EndpointID, service string, size int, body any) error {
 	return f.ic.Send(sp.Proc(), &hpc.Message{
 		Src: f.ep, Dst: dst, Size: size,
 		Payload: Envelope{Service: service, Body: body},
 		Tag:     service,
+		Trace:   tid,
 	}, nil)
 }
 
@@ -169,10 +180,17 @@ func (f *IF) Send(sp *kern.Subprocess, dst topo.EndpointID, service string, size
 // section is full the send is retried on the room-available interrupt.
 // onDelivered may be nil.
 func (f *IF) SendAsync(dst topo.EndpointID, service string, size int, body any, onDelivered func()) {
+	f.SendAsyncCtx(0, dst, service, size, body, onDelivered)
+}
+
+// SendAsyncCtx is SendAsync carrying an explicit trace ID (0 for
+// untraced).
+func (f *IF) SendAsyncCtx(tid uint64, dst topo.EndpointID, service string, size int, body any, onDelivered func()) {
 	msg := &hpc.Message{
 		Src: f.ep, Dst: dst, Size: size,
 		Payload: Envelope{Service: service, Body: body},
 		Tag:     service,
+		Trace:   tid,
 	}
 	var try func()
 	try = func() {

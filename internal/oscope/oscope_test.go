@@ -259,4 +259,52 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := oscope.Load(strings.NewReader("oscope-trace 1 1\nnodeX 0 bad 0\n")); err == nil {
 		t.Fatal("bad line should fail")
 	}
+	if _, err := oscope.Load(strings.NewReader("oscope-trace 2 1\nnot an event line\n")); err == nil {
+		t.Fatal("bad v2 line should fail")
+	}
+	if _, err := oscope.Load(strings.NewReader("oscope-trace 2 1\n0 0 10 hop 0 node0 cpu user\n")); err == nil {
+		t.Fatal("non-accounting v2 event should fail")
+	}
+}
+
+// TestFromTracerMatchesLiveScope checks the unification satellite: the
+// KAccount spans the system tracer records reproduce exactly what a
+// live-attached oscilloscope saw, and survive a v1 file round trip too.
+func TestFromTracerMatchesLiveScope(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Trace.Enable()
+	sc := oscope.Attach(sys)
+	sys.Spawn(sys.Node(0), "busy", 0, func(sp *kern.Subprocess) {
+		ch := sys.Node(0).Chans.Open(sp, "result", objmgr.OpenAny)
+		sp.Compute(sim.Milliseconds(10))
+		ch.Write(sp, 100, nil)
+	})
+	sys.Spawn(sys.Node(1), "idle", 0, func(sp *kern.Subprocess) {
+		ch := sys.Node(1).Chans.Open(sp, "result", objmgr.OpenAny)
+		ch.Read(sp)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sc.Finalize() // flushes the open intervals into the tracer too
+	end := sys.K.Now()
+	from := oscope.FromTracer(sys.Trace)
+	var live, replay strings.Builder
+	sc.Render(&live, 0, end, 30)
+	from.Render(&replay, 0, end, 30)
+	if live.String() != replay.String() {
+		t.Fatalf("tracer replay differs from live scope:\n%s\nvs\n%s", live.String(), replay.String())
+	}
+	// The legacy v1 format must stay loadable.
+	v1 := "oscope-trace 1 1\nnode9 0 1000 0\n"
+	loaded, err := oscope.Load(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Intervals("node9"); len(got) != 1 || got[0].End != sim.Time(1000) {
+		t.Fatalf("v1 load: %v", got)
+	}
 }

@@ -11,7 +11,14 @@
 //	... compute ...
 //	stop()
 //
-// Report lists phases by descending share of accounted time.
+// Phases may nest (and overlap: stops need not come in LIFO order).
+// Time is attributed two ways, like prof's self/cumulative split:
+// self time counts only while a phase is the innermost open phase;
+// cumulative time counts while it is open at any depth, with recursive
+// re-entry counted once. Phases still open when Report runs are
+// accounted up to the report instant rather than dropped.
+//
+// Report lists phases by descending share of self time.
 package profiler
 
 import (
@@ -22,18 +29,38 @@ import (
 
 	"hpcvorx/internal/kern"
 	"hpcvorx/internal/sim"
+	"hpcvorx/internal/trace"
 )
 
 // Profile accumulates per-phase execution time for one process.
 type Profile struct {
 	name   string
 	phases map[string]*phase
+	stack  []*entry
+	// lastSelf is the instant up to which self time has been credited
+	// to the current stack top.
+	lastSelf sim.Time
+	// clock reads current virtual time; captured from the first Enter
+	// so Report can close still-open phases.
+	clock func() sim.Time
+
+	tracer    *trace.Tracer
+	traceNode string
 }
 
 type phase struct {
 	name  string
-	total sim.Duration
+	self  sim.Duration // innermost-open time
+	cum   sim.Duration // open-at-any-depth time, recursion counted once
 	calls int
+	open  int      // current nesting depth
+	since sim.Time // when open went 0 -> 1
+}
+
+type entry struct {
+	ph    *phase
+	start sim.Time
+	done  bool
 }
 
 // New creates an empty profile.
@@ -41,87 +68,186 @@ func New(name string) *Profile {
 	return &Profile{name: name, phases: map[string]*phase{}}
 }
 
-// Enter marks the start of a named phase on the subprocess; the
-// returned stop function records the elapsed virtual time. Nested or
-// repeated phases accumulate.
-func (p *Profile) Enter(sp *kern.Subprocess, name string) (stop func()) {
-	start := sp.Now()
-	return func() {
-		ph := p.phases[name]
-		if ph == nil {
-			ph = &phase{name: name}
-			p.phases[name] = ph
-		}
-		ph.total += sp.Now().Sub(start)
-		ph.calls++
-	}
+// SetTracer mirrors every completed phase into the unified event
+// tracer as a KPhase span on node's "prof" lane.
+func (p *Profile) SetTracer(tr *trace.Tracer, node string) {
+	p.tracer = tr
+	p.traceNode = node
 }
 
-// Add records d against a phase directly (for interrupt-level code
-// with no subprocess context).
-func (p *Profile) Add(name string, d sim.Duration) {
+func (p *Profile) phaseFor(name string) *phase {
 	ph := p.phases[name]
 	if ph == nil {
 		ph = &phase{name: name}
 		p.phases[name] = ph
 	}
-	ph.total += d
+	return ph
+}
+
+// creditSelf attributes the self time since the last stack change to
+// the innermost open phase.
+func (p *Profile) creditSelf(now sim.Time) {
+	if n := len(p.stack); n > 0 {
+		p.stack[n-1].ph.self += now.Sub(p.lastSelf)
+	}
+	p.lastSelf = now
+}
+
+// Enter marks the start of a named phase on the subprocess; the
+// returned stop function records the elapsed virtual time. Calling
+// stop twice is harmless. Nested or repeated phases accumulate.
+func (p *Profile) Enter(sp *kern.Subprocess, name string) (stop func()) {
+	if p.clock == nil {
+		p.clock = sp.Now
+	}
+	now := sp.Now()
+	p.creditSelf(now)
+	ph := p.phaseFor(name)
+	if ph.open == 0 {
+		ph.since = now
+	}
+	ph.open++
+	e := &entry{ph: ph, start: now}
+	p.stack = append(p.stack, e)
+	return func() {
+		if e.done {
+			return
+		}
+		e.done = true
+		end := sp.Now()
+		p.creditSelf(end)
+		for i := len(p.stack) - 1; i >= 0; i-- {
+			if p.stack[i] == e {
+				p.stack = append(p.stack[:i], p.stack[i+1:]...)
+				break
+			}
+		}
+		ph.open--
+		if ph.open == 0 {
+			ph.cum += end.Sub(ph.since)
+		}
+		ph.calls++
+		p.tracer.EmitSpan(trace.KPhase, 0, p.traceNode, "prof", e.start, name)
+	}
+}
+
+// Add records d against a phase directly (for interrupt-level code
+// with no subprocess context). Direct samples are flat: self and
+// cumulative both advance by d.
+func (p *Profile) Add(name string, d sim.Duration) {
+	ph := p.phaseFor(name)
+	ph.self += d
+	ph.cum += d
 	ph.calls++
 }
 
-// Total returns the accumulated time across all phases.
+// now returns the report instant: the captured clock, or the last
+// stack-change instant when no subprocess was ever seen.
+func (p *Profile) now() sim.Time {
+	if p.clock != nil {
+		return p.clock()
+	}
+	return p.lastSelf
+}
+
+// snapshot returns self/cum for a phase with any still-open time
+// accounted up to now, without mutating the profile.
+func (ph *phase) snapshot(now sim.Time, innermost bool, lastSelf sim.Time) (self, cum sim.Duration) {
+	self, cum = ph.self, ph.cum
+	if innermost {
+		self += now.Sub(lastSelf)
+	}
+	if ph.open > 0 {
+		cum += now.Sub(ph.since)
+	}
+	return self, cum
+}
+
+func (p *Profile) snapshots() (map[string][2]sim.Duration, sim.Duration) {
+	now := p.now()
+	var top *phase
+	if n := len(p.stack); n > 0 {
+		top = p.stack[n-1].ph
+	}
+	out := make(map[string][2]sim.Duration, len(p.phases))
+	var total sim.Duration
+	for name, ph := range p.phases {
+		self, cum := ph.snapshot(now, ph == top, p.lastSelf)
+		out[name] = [2]sim.Duration{self, cum}
+		total += self
+	}
+	return out, total
+}
+
+// Total returns the accumulated self time across all phases — the
+// wall time actually accounted, with no double counting under nesting.
 func (p *Profile) Total() sim.Duration {
-	var t sim.Duration
-	for _, ph := range p.phases {
-		t += ph.total
-	}
-	return t
+	_, total := p.snapshots()
+	return total
 }
 
-// Phase returns the accumulated time for one phase.
+// Phase returns the cumulative time for one phase (open time counted
+// up to now).
 func (p *Profile) Phase(name string) sim.Duration {
-	if ph := p.phases[name]; ph != nil {
-		return ph.total
-	}
-	return 0
+	snaps, _ := p.snapshots()
+	return snaps[name][1]
 }
 
-// Hottest returns the phase with the most accumulated time.
+// Self returns the self (innermost-open) time for one phase.
+func (p *Profile) Self(name string) sim.Duration {
+	snaps, _ := p.snapshots()
+	return snaps[name][0]
+}
+
+// Hottest returns the phase with the most cumulative time.
 func (p *Profile) Hottest() (string, sim.Duration) {
-	var best *phase
-	for _, ph := range p.phases {
-		if best == nil || ph.total > best.total ||
-			(ph.total == best.total && ph.name < best.name) {
-			best = ph
+	snaps, _ := p.snapshots()
+	best, bestD := "", sim.Duration(-1)
+	for name, sc := range snaps {
+		if sc[1] > bestD || (sc[1] == bestD && name < best) {
+			best, bestD = name, sc[1]
 		}
 	}
-	if best == nil {
+	if best == "" {
 		return "", 0
 	}
-	return best.name, best.total
+	return best, bestD
 }
 
-// Report writes the flat profile, hottest phase first.
+// Report writes the flat profile, hottest (by self time) first.
+// Percentages are shares of total self time, so they sum to 100 even
+// when phases nest.
 func (p *Profile) Report(w io.Writer) {
-	total := p.Total()
+	snaps, total := p.snapshots()
 	fmt.Fprintf(w, "prof: %s — %v accounted\n", p.name, total)
-	fmt.Fprintf(w, "%7s %10s %8s  %s\n", "%time", "total", "calls", "name")
-	var list []*phase
-	for _, ph := range p.phases {
-		list = append(list, ph)
+	fmt.Fprintf(w, "%7s %10s %10s %8s  %s\n", "%time", "self", "cum", "calls", "name")
+	type row struct {
+		name      string
+		self, cum sim.Duration
+		calls     int
+		open      int
+	}
+	var list []row
+	for name, ph := range p.phases {
+		sc := snaps[name]
+		list = append(list, row{name: name, self: sc[0], cum: sc[1], calls: ph.calls, open: ph.open})
 	}
 	sort.Slice(list, func(i, j int) bool {
-		if list[i].total != list[j].total {
-			return list[i].total > list[j].total
+		if list[i].self != list[j].self {
+			return list[i].self > list[j].self
 		}
 		return list[i].name < list[j].name
 	})
-	for _, ph := range list {
+	for _, r := range list {
 		pct := 0.0
 		if total > 0 {
-			pct = 100 * float64(ph.total) / float64(total)
+			pct = 100 * float64(r.self) / float64(total)
 		}
-		fmt.Fprintf(w, "%6.1f%% %10v %8d  %s\n", pct, ph.total, ph.calls, ph.name)
+		mark := ""
+		if r.open > 0 {
+			mark = " (open)"
+		}
+		fmt.Fprintf(w, "%6.1f%% %10v %10v %8d  %s%s\n", pct, r.self, r.cum, r.calls, r.name, mark)
 	}
 }
 

@@ -69,6 +69,135 @@ func TestEmptyProfile(t *testing.T) {
 	}
 }
 
+// TestNestedPhasesSplitSelfAndCumulative is the regression test for
+// the nested-Enter fix: an outer phase wrapping an inner one must not
+// double-count the inner time in the total, and self/cumulative must
+// be reported separately.
+func TestNestedPhasesSplitSelfAndCumulative(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New("nested")
+	sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+		sp.Compute(sim.Milliseconds(1)) // absorb the initial context switch
+		stopOuter := p.Enter(sp, "outer")
+		sp.Compute(sim.Milliseconds(2))
+		stopInner := p.Enter(sp, "inner")
+		sp.Compute(sim.Milliseconds(6))
+		stopInner()
+		sp.Compute(sim.Milliseconds(2))
+		stopOuter()
+		stopOuter() // double stop must be harmless
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Self("outer"); got != sim.Milliseconds(4) {
+		t.Fatalf("outer self = %v, want 4ms", got)
+	}
+	if got := p.Phase("outer"); got != sim.Milliseconds(10) {
+		t.Fatalf("outer cum = %v, want 10ms", got)
+	}
+	if got := p.Self("inner"); got != sim.Milliseconds(6) {
+		t.Fatalf("inner self = %v, want 6ms", got)
+	}
+	if got := p.Total(); got != sim.Milliseconds(10) {
+		t.Fatalf("total = %v, want 10ms (no double counting)", got)
+	}
+	out := p.String()
+	if !strings.Contains(out, "self") || !strings.Contains(out, "cum") {
+		t.Fatalf("report lacks self/cum columns:\n%s", out)
+	}
+}
+
+// TestOverlappingStops covers non-LIFO stop order: A enters, B enters,
+// A stops, B stops. Both phases must account their full open window.
+func TestOverlappingStops(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New("overlap")
+	sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+		sp.Compute(sim.Milliseconds(1)) // absorb the initial context switch
+		stopA := p.Enter(sp, "A")
+		sp.Compute(sim.Milliseconds(1))
+		stopB := p.Enter(sp, "B")
+		sp.Compute(sim.Milliseconds(1))
+		stopA()
+		sp.Compute(sim.Milliseconds(1))
+		stopB()
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Phase("A"); got != sim.Milliseconds(2) {
+		t.Fatalf("A cum = %v, want 2ms", got)
+	}
+	if got := p.Phase("B"); got != sim.Milliseconds(2) {
+		t.Fatalf("B cum = %v, want 2ms", got)
+	}
+	if got := p.Total(); got != sim.Milliseconds(3) {
+		t.Fatalf("total = %v, want 3ms", got)
+	}
+}
+
+// TestRecursiveReentryCountedOnce: re-entering an open phase must not
+// double its cumulative time.
+func TestRecursiveReentryCountedOnce(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New("rec")
+	sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+		sp.Compute(sim.Milliseconds(1)) // absorb the initial context switch
+		stop1 := p.Enter(sp, "fib")
+		sp.Compute(sim.Milliseconds(1))
+		stop2 := p.Enter(sp, "fib")
+		sp.Compute(sim.Milliseconds(3))
+		stop2()
+		sp.Compute(sim.Milliseconds(1))
+		stop1()
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Phase("fib"); got != sim.Milliseconds(5) {
+		t.Fatalf("fib cum = %v, want 5ms (recursion counted once)", got)
+	}
+	if got := p.Self("fib"); got != sim.Milliseconds(5) {
+		t.Fatalf("fib self = %v, want 5ms", got)
+	}
+}
+
+// TestOpenPhaseAccountedAtReport: a phase never stopped still shows
+// its time up to the report instant instead of vanishing.
+func TestOpenPhaseAccountedAtReport(t *testing.T) {
+	sys, err := core.Build(core.Config{Nodes: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New("open")
+	sys.Spawn(sys.Node(0), "w", 0, func(sp *kern.Subprocess) {
+		p.Enter(sp, "forever") // stop intentionally discarded
+		sp.Compute(sim.Milliseconds(7))
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Phase("forever"); got < sim.Milliseconds(7) {
+		t.Fatalf("open phase cum = %v, want >= 7ms", got)
+	}
+	if got := p.Total(); got < sim.Milliseconds(7) {
+		t.Fatalf("open phase total = %v, want >= 7ms", got)
+	}
+	if !strings.Contains(p.String(), "(open)") {
+		t.Fatalf("report should mark open phases:\n%s", p.String())
+	}
+}
+
 func TestTypicalHotSpotDominates(t *testing.T) {
 	// §6.2: "Typically one finds that a large portion of the
 	// execution time is spent in a small section of the code."

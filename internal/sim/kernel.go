@@ -25,7 +25,18 @@ type Kernel struct {
 	alive   int     // procs spawned but not yet finished
 	nextID  int
 	stopped bool
+	probe   Probe
 }
+
+// Probe observes process lifecycle transitions. It exists so a tracing
+// layer can watch the kernel without sim importing it; observation must
+// not schedule events or touch the clock.
+type Probe interface {
+	ProcEvent(at Time, proc string, what string)
+}
+
+// SetProbe installs (or, with nil, removes) the lifecycle probe.
+func (k *Kernel) SetProbe(p Probe) { k.probe = p }
 
 // NewKernel returns a kernel with its virtual clock at zero. The seed
 // feeds the kernel's random source, which is used only by components
@@ -78,6 +89,9 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	k.nextID++
 	k.procs = append(k.procs, p)
 	k.alive++
+	if k.probe != nil {
+		k.probe.ProcEvent(k.now, name, "spawn")
+	}
 	k.At(k.now, func() { k.startProc(p, fn) })
 	return p
 }
@@ -90,6 +104,9 @@ func (k *Kernel) startProc(p *Proc, fn func(p *Proc)) {
 		defer func() {
 			p.state = procDone
 			k.alive--
+			if k.probe != nil {
+				k.probe.ProcEvent(k.now, p.name, "done")
+			}
 			if r := recover(); r != nil && r != errKilled {
 				p.panicked = r
 			}

@@ -20,6 +20,7 @@ import (
 
 	"hpcvorx/internal/m68k"
 	"hpcvorx/internal/sim"
+	"hpcvorx/internal/trace"
 )
 
 // Result reports the hardware outcome of one bus transfer.
@@ -103,7 +104,14 @@ type Network struct {
 	stats    Stats
 
 	injector Injector
+	tracer   *trace.Tracer
 }
+
+// SetTracer installs the unified event tracer: bus transfers become
+// spans on the "snet"/"bus" lane, FIFO overflows become instants on
+// the receiving station's lane, and FIFO occupancy is exported as a
+// per-station gauge.
+func (nw *Network) SetTracer(t *trace.Tracer) { nw.tracer = t }
 
 // SetInjector installs the network's fault injector (nil disables
 // injection).
@@ -255,6 +263,10 @@ func (s *Station) Send(p *sim.Proc, dst, size int, payload any) Result {
 	nw.busSem.Release()
 
 	nw.stats.Transfers++
+	if tr := nw.tracer; tr.Enabled() {
+		tr.EmitSpan(trace.KBus, 0, "snet", "bus", start, fmt.Sprintf("%d->%d %dB", s.id, dst, size))
+		tr.Count("snet.transfers", 1)
+	}
 	d := nw.stations[dst]
 	if d.fifoUsed+size <= d.fifoCap {
 		fate := FateDeliver
@@ -279,11 +291,20 @@ func (s *Station) Send(p *sim.Proc, dst, size int, payload any) Result {
 		nw.stats.JunkBytes += int64(frag)
 	}
 	nw.stats.Rejected++
+	if tr := nw.tracer; tr.Enabled() {
+		tr.Emit(trace.KFifoFull, 0, "snet", fmt.Sprintf("fifo%d", dst),
+			fmt.Sprintf("from %d %dB (junk %dB)", s.id, size, frag))
+		tr.Count("snet.fifo_full", 1)
+	}
 	return FifoFull
 }
 
 func (s *Station) push(rec fifoRecord) {
 	s.fifoUsed += rec.size
 	s.records = append(s.records, rec)
+	if tr := s.nw.tracer; tr.Enabled() {
+		tr.GaugeSet(fmt.Sprintf("snet.fifo%d.used", s.id), float64(s.fifoUsed))
+	}
 	s.fifoCond.Signal()
 }
+

@@ -40,6 +40,7 @@ import (
 	"hpcvorx/internal/resmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/trace"
 )
 
 // Wire sizes and costs of the supervision protocol.
@@ -471,8 +472,14 @@ func (s *Supervisor) Report(w io.Writer) {
 	}
 }
 
+// tracer returns the unified event tracer (possibly nil): supervision
+// events land on the host machine's "super" lane.
+func (s *Supervisor) tracer() *trace.Tracer { return s.host.Kern.Tracer() }
+
 func (s *Supervisor) record(kind, format string, args ...any) {
-	s.recs = append(s.recs, Record{At: s.sys.K.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	detail := fmt.Sprintf(format, args...)
+	s.recs = append(s.recs, Record{At: s.sys.K.Now(), Kind: kind, Detail: detail})
+	s.tracer().Emit(trace.KSuper, 0, s.host.Kern.Name(), "super", kind+" "+detail)
 }
 
 // handleHeartbeat runs at interrupt level on the supervisor's host.
@@ -484,6 +491,10 @@ func (s *Supervisor) handleHeartbeat(m *hpc.Message) {
 	}
 	s.Heartbeats++
 	mb.lastSeen = s.sys.K.Now()
+	if tr := s.tracer(); tr.Enabled() {
+		tr.Emit(trace.KHeartbeat, m.Trace, s.host.Kern.Name(), "super", mb.m.Name())
+		tr.Count("super.heartbeats", 1)
+	}
 	switch mb.state {
 	case Suspect:
 		mb.state = Alive
@@ -523,6 +534,7 @@ func (s *Supervisor) sweep() {
 func (s *Supervisor) confirm(mb *member, silent sim.Duration) {
 	mb.state = Dead
 	s.record("confirm", "%s declared dead (silent %v)", mb.m.Name(), silent)
+	s.tracer().Observe("super.detect_latency_ns", float64(silent))
 	failed := 0
 	for _, other := range s.sys.Machines() {
 		if other == mb.m || other.Kern.Crashed() {
@@ -705,6 +717,8 @@ func (s *Supervisor) checkpointAll() {
 		// interrupt level — the visible price of a short checkpoint
 		// interval.
 		t.mach.Kern.Interrupt(t.mach.Kern.Costs().KernelCopyTime(len(st)), nil)
+		s.tracer().Emit(trace.KCheckpoint, 0, t.mach.Kern.Name(), "super",
+			fmt.Sprintf("snapshot %q gen=%d %dB", t.name, t.gen, len(st)))
 		t.mach.IF.SendAsync(s.host.EP, "super.ckpt", len(st)+CkptHeaderBytes,
 			ckptMsg{task: t, gen: t.gen, state: st, marks: mk}, nil)
 	}
@@ -720,6 +734,11 @@ func (s *Supervisor) handleCheckpoint(m *hpc.Message) {
 	}
 	t.snap = snapshot{at: s.sys.K.Now(), state: ck.state}
 	s.Checkpoints++
+	if tr := s.tracer(); tr.Enabled() {
+		tr.Emit(trace.KCheckpoint, m.Trace, s.host.Kern.Name(), "super",
+			fmt.Sprintf("commit %q gen=%d %dB", t.name, ck.gen, len(ck.state)))
+		tr.Count("super.checkpoints", 1)
+	}
 	for _, id := range s.chanIDs() {
 		mc := s.chansByID[id]
 		e := mc.endOf(t)

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteChrome emits the recorded events as Chrome trace_event JSON
+// (the format chrome://tracing and ui.perfetto.dev load). Mapping:
+// each distinct Event.Node becomes a trace "process" and each distinct
+// (Node, Lane) a "thread", so the viewer shows one row per link,
+// channel, or CPU grouped under its machine. Span events (Dur > 0)
+// render as ph "X" complete slices; instants as ph "i". Events that
+// carry a trace ID additionally participate in an async flow: KWrite
+// opens a ph "b" span named msg<tid> and KAck closes it with ph "e",
+// so selecting the flow highlights the message's whole journey.
+//
+// Output is deterministic: pids/tids are assigned in first-appearance
+// order and events are written in recorded order.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+
+	type laneKey struct{ node, lane string }
+	pids := map[string]int{}
+	var pidOrder []string
+	tids := map[laneKey]int{}
+	var tidOrder []laneKey
+	for _, e := range events {
+		if _, ok := pids[e.Node]; !ok {
+			pids[e.Node] = len(pids) + 1
+			pidOrder = append(pidOrder, e.Node)
+		}
+		k := laneKey{e.Node, e.Lane}
+		if _, ok := tids[k]; !ok {
+			tids[k] = len(tids) + 1
+			tidOrder = append(tidOrder, k)
+		}
+	}
+
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.printf("\n"+format, args...)
+	}
+
+	for _, n := range pidOrder {
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pids[n], jstr(n))
+	}
+	for _, k := range tidOrder {
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			pids[k.node], tids[k], jstr(k.lane))
+	}
+
+	for _, e := range events {
+		pid := pids[e.Node]
+		tid := tids[laneKey{e.Node, e.Lane}]
+		ts := float64(e.At) / 1e3 // ns → µs
+		name := e.Kind.String()
+		if e.Detail != "" {
+			name = name + " " + e.Detail
+		}
+		args := fmt.Sprintf(`{"seq":%d`, e.Seq)
+		if e.TID != 0 {
+			args += fmt.Sprintf(`,"trace_id":%d`, e.TID)
+		}
+		args += "}"
+		if e.Dur > 0 {
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"cat":%s,"name":%s,"args":%s}`,
+				pid, tid, ts, float64(e.Dur)/1e3, jstr(e.Kind.Category()), jstr(name), args)
+		} else {
+			emit(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%.3f,"cat":%s,"name":%s,"args":%s}`,
+				pid, tid, ts, jstr(e.Kind.Category()), jstr(name), args)
+		}
+		if e.TID != 0 {
+			switch e.Kind {
+			case KWrite:
+				emit(`{"ph":"b","id":%d,"pid":%d,"tid":%d,"ts":%.3f,"cat":"msg","name":%s,"args":%s}`,
+					e.TID, pid, tid, ts, jstr(fmt.Sprintf("msg%d", e.TID)), args)
+			case KAck:
+				emit(`{"ph":"e","id":%d,"pid":%d,"tid":%d,"ts":%.3f,"cat":"msg","name":%s,"args":%s}`,
+					e.TID, pid, tid, ts, jstr(fmt.Sprintf("msg%d", e.TID)), args)
+			}
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
