@@ -17,6 +17,7 @@ import (
 	"hpcvorx/internal/dfs"
 	"hpcvorx/internal/fft"
 	"hpcvorx/internal/flowctl"
+	"hpcvorx/internal/hpc"
 	"hpcvorx/internal/kern"
 	"hpcvorx/internal/linda"
 	"hpcvorx/internal/m68k"
@@ -378,6 +379,69 @@ func BenchmarkSimKernel(b *testing.B) {
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimKernelCancel measures the schedule/cancel churn path —
+// the arm-timer idiom every protocol timeout exercises.
+func BenchmarkSimKernelCancel(b *testing.B) {
+	k := sim.NewKernel(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tm sim.Timer
+	for i := 0; i < b.N; i++ {
+		tm.Stop()
+		tm = k.After(sim.Millisecond, fn)
+		if i%1024 == 1023 {
+			k.RunFor(10 * sim.Microsecond)
+		}
+	}
+}
+
+// BenchmarkHPCSendPath measures one full fabric cycle — route, hop
+// through a 4-link cross-cluster path, deliver, release — on the
+// pooled message path. Steady state is allocation-free.
+func BenchmarkHPCSendPath(b *testing.B) {
+	k := sim.NewKernel(1)
+	tp, err := topo.IncompleteHypercube(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ic := hpc.New(k, m68k.DefaultCosts(), tp)
+	msg := &hpc.Message{Src: 0, Dst: topo.EndpointID(tp.Endpoints() - 1), Size: 512}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := ic.TrySend(msg, nil)
+		if err != nil || !ok {
+			b.Fatalf("TrySend: ok=%v err=%v", ok, err)
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicateSeeds measures the parallel replication harness on
+// a small seeded workload: one share-nothing simulation per seed,
+// fanned across a worker pool. On a multi-core host the speedup over
+// workers=1 approaches the worker count; the per-seed digests are
+// byte-identical either way.
+func BenchmarkReplicateSeeds(b *testing.B) {
+	seeds := make([]int64, 8)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", vorxbench.Workers(0)}} {
+		b.Run(fmt.Sprintf("%s/workers=%d", cfg.name, cfg.workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vorxbench.ReplicateSeeds(seeds, cfg.workers, vorxbench.SeededRun)
+			}
+		})
 	}
 }
 

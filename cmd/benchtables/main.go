@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	benchtables            # all experiments
-//	benchtables -t T1,E2   # selected experiments
-//	benchtables -list      # list experiment ids
+//	benchtables              # all experiments, serially
+//	benchtables -t T1,E2     # selected experiments
+//	benchtables -workers 0   # replicate across one worker per CPU
+//	benchtables -list        # list experiment ids
+//
+// Each experiment builds its own share-nothing simulation, so -workers
+// only changes wall-clock time: the printed output is byte-identical
+// to the serial run.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 func main() {
 	sel := flag.String("t", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 1, "replication workers; 0 = one per CPU (output is identical to -workers 1)")
 	flag.Parse()
 
 	if *list {
@@ -32,11 +38,13 @@ func main() {
 	ids := vorxbench.IDs()
 	if *sel != "" {
 		ids = strings.Split(*sel, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
-	for _, id := range ids {
-		tb := vorxbench.ByID(strings.TrimSpace(id))
+	for i, tb := range vorxbench.RunIDs(ids, *workers) {
 		if tb == nil {
-			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (try -list)\n", id)
+			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (try -list)\n", ids[i])
 			os.Exit(1)
 		}
 		tb.Format(os.Stdout)

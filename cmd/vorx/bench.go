@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/vorxbench"
+	"hpcvorx/internal/workload"
+)
+
+// benchReport is the schema of BENCH_<rev>.json: one data point on the
+// simulator's own performance trajectory. Everything here measures the
+// host (wall clock, allocations) — virtual time is untouched by
+// definition, which is what makes the byte-identity fields meaningful.
+type benchReport struct {
+	Rev        string `json:"rev"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	// Kernel microbenchmark: a self-rescheduling timer chain, the
+	// tightest loop the event engine has.
+	KernelEvents        int     `json:"kernel_events"`
+	KernelNsPerEvent    float64 `json:"kernel_ns_per_event"`
+	KernelEventsPerSec  float64 `json:"kernel_events_per_sec"`
+	KernelBytesPerEvent float64 `json:"kernel_bytes_per_event"`
+
+	// Message macrobenchmark: the standard all-to-one workload through
+	// the full stack (channels → netif → hpc → interrupt → channels).
+	MsgRuns        int     `json:"msg_runs"`
+	MsgCount       int     `json:"msg_count"`
+	MsgPerSec      float64 `json:"msgs_per_sec"`
+	MsgNsPerMsg    float64 `json:"ns_per_msg"`
+	MsgBytesPerMsg float64 `json:"bytes_per_msg"`
+
+	// Suite replication: the deterministic vorxbench experiments run
+	// serially and across a worker pool; the outputs must match byte
+	// for byte.
+	SuiteIDs           string  `json:"suite_ids"`
+	SuiteWorkers       int     `json:"suite_workers"`
+	SuiteSerialMs      float64 `json:"suite_serial_ms"`
+	SuiteParallelMs    float64 `json:"suite_parallel_ms"`
+	SuiteSpeedup       float64 `json:"suite_speedup"`
+	SuiteByteIdentical bool    `json:"suite_byte_identical"`
+
+	// Seeded replications of the macro workload, serial vs pool.
+	ReplSeeds         int     `json:"repl_seeds"`
+	ReplSerialMs      float64 `json:"repl_serial_ms"`
+	ReplParallelMs    float64 `json:"repl_parallel_ms"`
+	ReplSpeedup       float64 `json:"repl_speedup"`
+	ReplByteIdentical bool    `json:"repl_byte_identical"`
+}
+
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	rev := fs.String("rev", "dev", "revision label; -json writes BENCH_<rev>.json")
+	jsonOut := fs.Bool("json", false, "write BENCH_<rev>.json (or -out) in addition to the text report")
+	out := fs.String("out", "", "override the JSON output path")
+	events := fs.Int("events", 2_000_000, "kernel microbenchmark event count")
+	msgRuns := fs.Int("msgruns", 20, "repetitions of the all-to-one message macrobenchmark")
+	suite := fs.String("suite", "", "comma-separated suite ids (default: all deterministic experiments)")
+	seeds := fs.Int("seeds", 8, "seeded replications of the macro workload")
+	workers := fs.Int("workers", 0, "worker-pool size for parallel replication; 0 = one per CPU")
+	fs.Parse(args)
+
+	r := benchReport{
+		Rev:        *rev,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// 1. Event engine: a single self-rescheduling timer, the pattern
+	// every sleeping proc and protocol timeout reduces to.
+	r.KernelEvents = *events
+	wall, bytes := benchKernel(*events)
+	r.KernelNsPerEvent = float64(wall.Nanoseconds()) / float64(*events)
+	r.KernelEventsPerSec = float64(*events) / wall.Seconds()
+	r.KernelBytesPerEvent = bytes / float64(*events)
+	fmt.Printf("kernel:      %d events in %v  (%.1f ns/event, %.2fM events/s, %.1f B/event)\n",
+		*events, wall.Round(time.Millisecond), r.KernelNsPerEvent, r.KernelEventsPerSec/1e6, r.KernelBytesPerEvent)
+
+	// 2. Full message stack: all-to-one on 20 nodes, 800 B x 10 per
+	// sender, fresh share-nothing system per run.
+	const msgNodes, msgSize, msgPer = 20, 800, 10
+	perRun := (msgNodes - 1) * msgPer
+	r.MsgRuns = *msgRuns
+	r.MsgCount = perRun * *msgRuns
+	wall, bytes = benchMessages(*msgRuns, msgNodes, msgSize, msgPer)
+	r.MsgPerSec = float64(r.MsgCount) / wall.Seconds()
+	r.MsgNsPerMsg = float64(wall.Nanoseconds()) / float64(r.MsgCount)
+	r.MsgBytesPerMsg = bytes / float64(r.MsgCount)
+	fmt.Printf("messages:    %d app messages in %v  (%.0f ns/msg, %.0fk msgs/s, %.0f B/msg)\n",
+		r.MsgCount, wall.Round(time.Millisecond), r.MsgNsPerMsg, r.MsgPerSec/1e3, r.MsgBytesPerMsg)
+
+	// 3. Suite replication, serial vs worker pool.
+	ids := vorxbench.DeterministicIDs()
+	if *suite != "" {
+		ids = strings.Split(*suite, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	r.SuiteIDs = strings.Join(ids, ",")
+	r.SuiteWorkers = vorxbench.Workers(*workers)
+	serialOut, serialWall := vorxbench.TimedRun(ids, 1)
+	parOut, parWall := vorxbench.TimedRun(ids, r.SuiteWorkers)
+	r.SuiteSerialMs = float64(serialWall.Microseconds()) / 1000
+	r.SuiteParallelMs = float64(parWall.Microseconds()) / 1000
+	r.SuiteSpeedup = serialWall.Seconds() / parWall.Seconds()
+	r.SuiteByteIdentical = serialOut == parOut
+	fmt.Printf("suite:       %d experiments  serial %v, %d workers %v  (%.2fx, byte-identical: %v)\n",
+		len(ids), serialWall.Round(time.Millisecond), r.SuiteWorkers, parWall.Round(time.Millisecond),
+		r.SuiteSpeedup, r.SuiteByteIdentical)
+
+	// 4. Seeded replications of the macro workload.
+	ss := make([]int64, *seeds)
+	for i := range ss {
+		ss[i] = int64(i + 1)
+	}
+	r.ReplSeeds = *seeds
+	start := time.Now()
+	serialDigests := vorxbench.ReplicateSeeds(ss, 1, vorxbench.SeededRun)
+	serialWall = time.Since(start)
+	start = time.Now()
+	parDigests := vorxbench.ReplicateSeeds(ss, r.SuiteWorkers, vorxbench.SeededRun)
+	parWall = time.Since(start)
+	r.ReplSerialMs = float64(serialWall.Microseconds()) / 1000
+	r.ReplParallelMs = float64(parWall.Microseconds()) / 1000
+	r.ReplSpeedup = serialWall.Seconds() / parWall.Seconds()
+	r.ReplByteIdentical = true
+	for i := range serialDigests {
+		if serialDigests[i] != parDigests[i] {
+			r.ReplByteIdentical = false
+		}
+	}
+	fmt.Printf("replication: %d seeds  serial %v, %d workers %v  (%.2fx, per-seed identical: %v)\n",
+		*seeds, serialWall.Round(time.Millisecond), r.SuiteWorkers, parWall.Round(time.Millisecond),
+		r.ReplSpeedup, r.ReplByteIdentical)
+
+	if !r.SuiteByteIdentical || !r.ReplByteIdentical {
+		fmt.Fprintln(os.Stderr, "vorx bench: parallel replication diverged from serial output")
+		defer os.Exit(1)
+	}
+
+	if *jsonOut || *out != "" {
+		path := *out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", *rev)
+		}
+		b, err := json.MarshalIndent(&r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vorx bench:", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vorx bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// benchKernel drives one self-rescheduling timer through n events and
+// reports wall time and bytes allocated during the run.
+func benchKernel(n int) (time.Duration, float64) {
+	k := sim.NewKernel(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			k.After(sim.Microsecond, tick)
+		}
+	}
+	k.After(sim.Microsecond, tick)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return wall, float64(m1.TotalAlloc - m0.TotalAlloc)
+}
+
+// benchMessages runs the all-to-one workload `runs` times on fresh
+// systems, measuring only the workload portion of each run.
+func benchMessages(runs, nodes, size, per int) (time.Duration, float64) {
+	var wall time.Duration
+	var bytes float64
+	for i := 0; i < runs; i++ {
+		sys, err := core.Build(core.Config{Nodes: nodes, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		workload.ManyToOne(sys, size, per)
+		wall += time.Since(start)
+		runtime.ReadMemStats(&m1)
+		bytes += float64(m1.TotalAlloc - m0.TotalAlloc)
+	}
+	return wall, bytes
+}

@@ -46,6 +46,7 @@ commands:
             a flight-recorder dump, and the metrics table
   chaos     replay a fault schedule and print the recovery report
   heal      crash a supervised node and watch checkpoint/restart heal it
+  bench     measure simulator performance; -json writes BENCH_<rev>.json
 `)
 	os.Exit(2)
 }
@@ -73,6 +74,8 @@ func main() {
 		runChaos(os.Args[2:], nil)
 	case "heal":
 		runHeal(os.Args[2:], nil)
+	case "bench":
+		cmdBench(os.Args[2:])
 	default:
 		usage()
 	}

@@ -24,6 +24,7 @@ package channels
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hpcvorx/internal/hpc"
 	"hpcvorx/internal/kern"
@@ -63,6 +64,11 @@ type Service struct {
 	// Open finished registering (the opener's reply can beat the
 	// subprocess getting scheduled).
 	preopen map[uint64][]dataFrag
+
+	// outFree recycles write records. A Service is single-kernel, so a
+	// plain slice suffices; a record is recycled only once its ack
+	// timer is stopped and no pending or retained list can reach it.
+	outFree []*outMsg
 
 	sideBufFree int
 	// starved lists (channel, message) pairs whose peer was told
@@ -108,6 +114,25 @@ type ackMsg struct {
 	ch  uint64
 	seq int
 }
+
+// fragPool and ackPool recycle the wire-body shells of the two
+// per-write messages. Shells are sent as pointers (boxing a pointer
+// into an interface allocates nothing), the receiver copies the fields
+// out at interrupt level and returns the shell. The pools are shared
+// process-wide: sender and receiver are different nodes, and under
+// parallel replication different kernels, so they need the
+// synchronized pool rather than a per-Service free list. A shell that
+// dies en route (crashed node, dropped service) simply falls to the
+// garbage collector.
+var (
+	fragPool = sync.Pool{New: func() any { return new(dataFrag) }}
+	ackPool  = sync.Pool{New: func() any { return new(ackMsg) }}
+)
+
+func putFrag(f *dataFrag) {
+	*f = dataFrag{} // drop the app payload reference
+	fragPool.Put(f)
+}
 type busyMsg struct {
 	ch  uint64
 	seq int
@@ -133,7 +158,7 @@ func NewService(f *netif.IF, mgr *objmgr.Manager) *Service {
 	costs := f.Node().Costs()
 	f.Register("chan", netif.Service{
 		Cost: func(m *hpc.Message) sim.Duration {
-			frag := m.Payload.(netif.Envelope).Body.(dataFrag)
+			frag := m.Payload.(netif.Envelope).Body.(*dataFrag)
 			return costs.ChanRecvProto + costs.KernelCopyTime(frag.size)
 		},
 		Handle: s.handleData,
@@ -279,6 +304,26 @@ type outMsg struct {
 	tid     uint64    // trace ID threading this write through the stack
 }
 
+// maxFreeOut bounds the write-record free list.
+const maxFreeOut = 1024
+
+func (s *Service) getOut() *outMsg {
+	if n := len(s.outFree); n > 0 {
+		om := s.outFree[n-1]
+		s.outFree[n-1] = nil
+		s.outFree = s.outFree[:n-1]
+		return om
+	}
+	return &outMsg{}
+}
+
+func (s *Service) putOut(om *outMsg) {
+	*om = outMsg{}
+	if len(s.outFree) < maxFreeOut {
+		s.outFree = append(s.outFree, om)
+	}
+}
+
 // SetWindow sets the channel end's write window (>=1). Call before
 // writing; both ends keep their own windows independently.
 func (ch *Channel) SetWindow(k int) {
@@ -336,7 +381,8 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 	}
 	costs := ch.svc.f.Node().Costs()
 	sp.Syscall(costs.ChanSendProto + costs.KernelCopyTime(size))
-	om := &outMsg{seq: ch.sendSeq, size: size, payload: payload}
+	om := ch.svc.getOut()
+	om.seq, om.size, om.payload = ch.sendSeq, size, payload
 	ch.sendSeq++
 	ch.pending = append(ch.pending, om)
 	if tr := ch.svc.tracer(); tr.Enabled() {
@@ -349,7 +395,9 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 	}
 	if err := ch.sendFragments(sp, om, false); err != nil {
 		ch.dropPending(om)
-		return fmt.Errorf("channels: write on %q: %w", ch.name, err)
+		name := ch.name
+		ch.svc.putOut(om) // timer never armed, no list reaches it
+		return fmt.Errorf("channels: write on %q: %w", name, err)
 	}
 	ch.svc.armTimer(ch, om)
 	for len(ch.pending) >= ch.window && !ch.closedRemote {
@@ -377,13 +425,17 @@ func (ch *Channel) sendFragments(sp *kern.Subprocess, om *outMsg, retrans bool) 
 			n = MaxFragment
 		}
 		last := off+n >= om.size
-		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: retrans, tid: om.tid}
+		frag := fragPool.Get().(*dataFrag)
+		*frag = dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: retrans, tid: om.tid}
 		if last {
 			frag.payload = om.payload
 		}
-		ch.svc.tracer().Emit(trace.KFragment, om.tid, ch.svc.f.Node().Name(), ch.lane(),
-			fmt.Sprintf("seq=%d off=%d %dB", om.seq, off, n))
+		if tr := ch.svc.tracer(); tr.Enabled() {
+			tr.Emit(trace.KFragment, om.tid, ch.svc.f.Node().Name(), ch.lane(),
+				fmt.Sprintf("seq=%d off=%d %dB", om.seq, off, n))
+		}
 		if err := ch.svc.f.SendCtx(sp, om.tid, ch.peer, "chan", n+HeaderBytes, frag); err != nil {
+			putFrag(frag) // never entered the fabric
 			return err
 		}
 	}
@@ -442,7 +494,8 @@ func (s *Service) retransmitAsync(ch *Channel, om *outMsg) {
 			n = MaxFragment
 		}
 		last := off+n >= om.size
-		frag := dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: true, tid: om.tid}
+		frag := fragPool.Get().(*dataFrag)
+		*frag = dataFrag{ch: ch.id, seq: om.seq, size: n, total: om.size, last: last, retransmit: true, tid: om.tid}
 		if last {
 			frag.payload = om.payload
 		}
@@ -595,6 +648,8 @@ func (s *Service) releaseRetained(ch *Channel, stable int) {
 	for _, om := range ch.retained {
 		if om.seq >= stable {
 			keep = append(keep, om)
+		} else {
+			s.putOut(om) // acked and checkpoint-stable: fully dead
 		}
 	}
 	for i := len(keep); i < len(ch.retained); i++ {
@@ -700,7 +755,9 @@ func (s *Service) resumeIfStarved(ch *Channel) {
 
 // handleData runs at interrupt level on the receiving node.
 func (s *Service) handleData(m *hpc.Message) {
-	frag := m.Payload.(netif.Envelope).Body.(dataFrag)
+	fr := m.Payload.(netif.Envelope).Body.(*dataFrag)
+	frag := *fr
+	putFrag(fr)
 	ch := s.chans[frag.ch]
 	if ch == nil {
 		// The local Open has not finished registering; hold the
@@ -780,7 +837,9 @@ func (s *Service) accept(ch *Channel, frag dataFrag, how string) {
 }
 
 func (s *Service) ack(ch *Channel, seq int, tid uint64) {
-	s.f.SendAsyncCtx(tid, ch.peer, "chan.ack", AckBytes, ackMsg{ch: ch.id, seq: seq}, nil)
+	a := ackPool.Get().(*ackMsg)
+	a.ch, a.seq = ch.id, seq
+	s.f.SendAsyncCtx(tid, ch.peer, "chan.ack", AckBytes, a, nil)
 }
 
 func (s *Service) busy(ch *Channel, seq int, tid uint64) {
@@ -810,7 +869,9 @@ func (s *Service) traceSideBuf() {
 
 // handleAck runs at interrupt level on the writer's node.
 func (s *Service) handleAck(m *hpc.Message) {
-	a := m.Payload.(netif.Envelope).Body.(ackMsg)
+	ap := m.Payload.(netif.Envelope).Body.(*ackMsg)
+	a := *ap
+	ackPool.Put(ap)
 	ch := s.chans[a.ch]
 	if ch == nil {
 		return
@@ -827,6 +888,9 @@ func (s *Service) handleAck(m *hpc.Message) {
 				// the peer's kernel delivered it, not that the peer's
 				// checkpoint captured it.
 				ch.retained = append(ch.retained, om)
+			} else {
+				// Timer stopped, off every list: recycle the record.
+				s.putOut(om)
 			}
 			break
 		}

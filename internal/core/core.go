@@ -75,6 +75,24 @@ type System struct {
 	hosts []*Machine
 	nodes []*Machine
 	byEP  map[topo.EndpointID]*Machine
+	uids  map[string]int
+}
+
+// NextUID hands out the next per-system sequence number for kind
+// ("stub", "dfs", ...). Services derive rendezvous names from these
+// uids, and the object manager hashes those names for placement — so
+// the counters must be per System, not process-global, for a run to be
+// hermetic. Hermetic runs are what keep parallel experiment
+// replication byte-identical to the serial suite, and are why the
+// replication worker pool needs no synchronization here: each worker
+// owns its System outright.
+func (s *System) NextUID(kind string) int {
+	if s.uids == nil {
+		s.uids = map[string]int{}
+	}
+	n := s.uids[kind]
+	s.uids[kind] = n + 1
+	return n
 }
 
 // Build constructs the system.

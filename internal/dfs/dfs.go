@@ -58,8 +58,6 @@ type Service struct {
 	Ops []int
 }
 
-var dfsSeq int
-
 // New starts file servers on the given hosts with the given
 // replication factor (clamped to the host count).
 func New(sys *core.System, hosts []*core.Machine, replicas int) *Service {
@@ -70,12 +68,11 @@ func New(sys *core.System, hosts []*core.Machine, replicas int) *Service {
 		replicas = len(hosts)
 	}
 	s := &Service{
-		sys: sys, hosts: hosts, replicas: replicas, uid: dfsSeq,
+		sys: sys, hosts: hosts, replicas: replicas, uid: sys.NextUID("dfs"),
 		files: make([]map[string][]byte, len(hosts)),
 		down:  make([]bool, len(hosts)),
 		Ops:   make([]int, len(hosts)),
 	}
-	dfsSeq++
 	for hi, h := range hosts {
 		hi, h := hi, h
 		s.files[hi] = map[string][]byte{}

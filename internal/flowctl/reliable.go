@@ -127,13 +127,17 @@ func (r *Reliable) Send(p *sim.Proc, src *snet.Station, dst, size int, payload a
 	r.seq++
 	seq := r.seq
 	transfers := 0
+	// One pending record serves every retransmission round: an ack for
+	// this seq is equally valid whichever transmission it answers (the
+	// previous round's timer is stopped before the record is re-armed).
+	pd := &relPend{seq: seq}
 	for {
 		transfers++
 		for src.Send(p, dst, size, relData{seq: seq, user: payload}) != snet.Delivered {
 			p.Sleep(100 * sim.Microsecond)
 			transfers++
 		}
-		pd := &relPend{seq: seq}
+		pd.result = 0
 		pd.wake = p.Park(fmt.Sprintf("rel-ack %d", src.ID()))
 		r.pending[src.ID()] = pd
 		timer := r.k.After(r.AckTimeout, func() {

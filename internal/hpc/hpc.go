@@ -20,6 +20,7 @@ package hpc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hpcvorx/internal/m68k"
 	"hpcvorx/internal/sim"
@@ -38,6 +39,34 @@ type Message struct {
 	// through the event tracer. Zero (tracing off, or an untraced
 	// send) means the fabric assigns one itself when tracing is on.
 	Trace uint64
+
+	// pooled marks a shell born from the interconnect's message arena
+	// (AllocMessage); FreeMessage ignores caller-constructed Messages.
+	pooled bool
+}
+
+// AllocMessage takes a Message shell from the interconnect's arena.
+// The caller fills the fields; whoever consumes the message hands the
+// shell back with FreeMessage once nothing can touch it again.
+func (ic *Interconnect) AllocMessage() *Message {
+	m := ic.msgPool.Get().(*Message)
+	m.pooled = true
+	return m
+}
+
+// FreeMessage returns an arena-born shell for reuse and zeroes it; a
+// Message built by hand is ignored, so consumers can call this on
+// every delivery without tracking provenance. Callers must ensure no
+// reference survives — in particular, a receiver may only free
+// synchronously from its deliver callback when the sender attached no
+// onDelivered (arena messages come from netif, which never reads the
+// message there).
+func (ic *Interconnect) FreeMessage(m *Message) {
+	if m == nil || !m.pooled {
+		return
+	}
+	*m = Message{}
+	ic.msgPool.Put(m)
 }
 
 // Delivery hands an arrived message to an endpoint. The endpoint owns
@@ -92,6 +121,18 @@ type Interconnect struct {
 	// so an idle fault engine leaves behaviour bit-identical.
 	downCubes int
 
+	// cubePaths caches the canonical cube-link sequence per cluster
+	// pair. Dimension-order routes are topology-static, so entries
+	// never invalidate; the cache is bypassed whenever downCubes != 0.
+	cubePaths map[[2]topo.ClusterID][]*link
+
+	// tPool and msgPool recycle transfer and Message shells so the
+	// steady-state send path allocates nothing. Shells are reset on
+	// recycle; a transfer's completion and release thunks are bound
+	// once, at first construction, and survive reuse.
+	tPool   sync.Pool
+	msgPool sync.Pool
+
 	stats  Stats
 	tracer *trace.Tracer
 }
@@ -128,8 +169,11 @@ func New(k *sim.Kernel, costs *m68k.Costs, t *topo.Topology) *Interconnect {
 		deliver: make([]DeliverFunc, n),
 		onRoom:  make([][]func(), n),
 	}
+	ic.cubePaths = make(map[[2]topo.ClusterID][]*link)
+	ic.tPool.New = func() any { return newBoundTransfer(ic) }
+	ic.msgPool.New = func() any { return &Message{} }
 	for e := 0; e < n; e++ {
-		ic.outSec[e] = &buffer{name: fmt.Sprintf("out%d", e)}
+		ic.outSec[e] = &buffer{name: fmt.Sprintf("out%d", e), outEP: int32(e + 1)}
 		ic.inSec[e] = &buffer{name: fmt.Sprintf("in%d", e)}
 		ic.upLink[e] = &link{ic: ic, name: fmt.Sprintf("up%d", e), into: &buffer{name: fmt.Sprintf("clbuf-up%d", e)}}
 		ic.dnLink[e] = &link{ic: ic, name: fmt.Sprintf("dn%d", e), into: ic.inSec[e]}
@@ -337,18 +381,23 @@ func (ic *Interconnect) TrySend(msg *Message, onDelivered func(*Message)) (bool,
 	if out.occupant != nil {
 		return false, nil
 	}
-	links, err := ic.routeLinks(msg.Src, msg.Dst)
-	if err != nil {
+	t := ic.newTransfer()
+	if err := ic.routeLinksInto(t, msg.Src, msg.Dst); err != nil {
+		t.links = t.links[:0]
+		ic.tPool.Put(t)
 		return false, err
 	}
 	if ic.tracer.Enabled() && msg.Trace == 0 {
 		msg.Trace = ic.tracer.NewTraceID()
 	}
-	t := &transfer{msg: msg, links: links, onDelivered: onDelivered}
+	t.msg = msg
+	t.onDelivered = onDelivered
 	out.occupant = t
 	t.holder = out
 	ic.stats.MessagesSent++
-	ic.tracer.Emit(trace.KEnqueue, msg.Trace, "fabric", ic.outSec[msg.Src].name, msgDetail(msg))
+	if ic.tracer.Enabled() {
+		ic.tracer.Emit(trace.KEnqueue, msg.Trace, "fabric", out.name, msgDetail(msg))
+	}
 	t.links[0].request(t)
 	return true, nil
 }
@@ -481,25 +530,64 @@ func (ic *Interconnect) linksFromCluster(c topo.ClusterID, dst topo.EndpointID) 
 	return append(links, ic.dnLink[dst]), nil
 }
 
-// routeLinks returns the full link path from src's output section to
-// dst's input section, or an error when link failures have left dst
+// cubePath returns the canonical cube-link sequence from cluster a to
+// cluster b, memoized. Valid only while no cube links are down.
+func (ic *Interconnect) cubePath(a, b topo.ClusterID) []*link {
+	key := [2]topo.ClusterID{a, b}
+	if p, ok := ic.cubePaths[key]; ok {
+		return p
+	}
+	route := ic.topo.ClusterRoute(a, b)
+	p := make([]*link, 0, len(route))
+	for i := 1; i < len(route); i++ {
+		p = append(p, ic.cubeLnk[[2]topo.ClusterID{route[i-1], route[i]}])
+	}
+	ic.cubePaths[key] = p
+	return p
+}
+
+// routeLinksInto fills t.links with the full link path from src's
+// output section to dst's input section, reusing the slice's capacity.
+// With a healthy fabric the inter-cluster hops come from the memoized
+// canonical path; with failures it falls back to the allocating
+// avoidance router. Errors only when failures have left dst
 // unreachable.
-func (ic *Interconnect) routeLinks(src, dst topo.EndpointID) ([]*link, error) {
+func (ic *Interconnect) routeLinksInto(t *transfer, src, dst topo.EndpointID) error {
+	t.links = append(t.links[:0], ic.upLink[src])
+	if ic.downCubes == 0 {
+		a := ic.topo.AttachmentOf(src).Cluster
+		b := ic.topo.AttachmentOf(dst).Cluster
+		t.links = append(t.links, ic.cubePath(a, b)...)
+		t.links = append(t.links, ic.dnLink[dst])
+		return nil
+	}
 	rest, err := ic.linksFromCluster(ic.topo.AttachmentOf(src).Cluster, dst)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return append([]*link{ic.upLink[src]}, rest...), nil
+	t.links = append(t.links, rest...)
+	return nil
 }
 
 // buffer is a one-message hardware buffer.
 type buffer struct {
 	name     string
 	occupant *transfer
+	// outEP is endpoint+1 when this buffer is an endpoint's output
+	// section (so freed() finds the room-interrupt list in O(1)), else 0.
+	outEP int32
 }
 
 // transfer is one message making its way along a link path.
+//
+// Transfer shells are pooled: newTransfer draws one from the
+// interconnect's pool and maybeRecycle returns it once the message has
+// both finished its hops (onDelivered ran) and had its input section
+// released by the endpoint — whichever happens last. The completion
+// and release thunks are bound once per shell, so a steady-state send
+// schedules and delivers without allocating.
 type transfer struct {
+	ic     *Interconnect
 	msg    *Message
 	links  []*link
 	pos    int     // next link index to traverse
@@ -508,6 +596,61 @@ type transfer struct {
 	onDelivered       func(*Message)
 	onArrivedAtBuffer func(*transfer) // fires instead of delivery (multicast root)
 	onLeftFirstBuffer func()          // multicast branch bookkeeping
+
+	curLink    *link  // link currently transmitting (read by completeFn)
+	lastLink   *link  // final link, whose buffer releaseFn frees
+	completeFn func() // bound once: curLink.complete(this)
+	releaseFn  func() // bound once: free input section, recycle
+	dlv        Delivery
+
+	doneHops bool // delivery (or terminal callback) has finished
+	released bool // the endpoint freed the input section
+	recycled bool
+}
+
+// newBoundTransfer mints a shell with its thunks pre-bound.
+func newBoundTransfer(ic *Interconnect) *transfer {
+	t := &transfer{ic: ic}
+	t.completeFn = func() { t.curLink.complete(t) }
+	t.releaseFn = func() {
+		l := t.lastLink
+		l.into.occupant = nil
+		t.released = true
+		t.maybeRecycle()
+		l.tryStart()
+	}
+	return t
+}
+
+// newTransfer draws a reset shell from the pool.
+func (ic *Interconnect) newTransfer() *transfer {
+	t := ic.tPool.Get().(*transfer)
+	t.doneHops = false
+	t.released = false
+	t.recycled = false
+	return t
+}
+
+// maybeRecycle returns the shell to the pool once the last of the two
+// lifetime ends (hop completion, input-section release) has passed.
+// Both orders occur: a handler may Release inside its deliver callback
+// (before onDelivered runs) or hold the Delivery long after.
+func (t *transfer) maybeRecycle() {
+	if !t.doneHops || !t.released || t.recycled {
+		return
+	}
+	t.recycled = true
+	t.msg = nil
+	t.links = t.links[:0]
+	t.pos = 0
+	t.holder = nil
+	t.onDelivered = nil
+	t.onArrivedAtBuffer = nil
+	t.onLeftFirstBuffer = nil
+	t.curLink = nil
+	t.lastLink = nil
+	t.dlv = Delivery{}
+	t.ic.tPool.Put(t)
 }
 
 // link is a directed link with FIFO (fair) arbitration into a
@@ -575,7 +718,11 @@ func (l *link) tryStart() {
 		return
 	}
 	t := l.waitQ[0]
-	l.waitQ = l.waitQ[1:]
+	// Shift rather than re-slice so the queue keeps its capacity: a
+	// [1:] pop erodes cap and forces a fresh array on every push.
+	copy(l.waitQ, l.waitQ[1:])
+	l.waitQ[len(l.waitQ)-1] = nil
+	l.waitQ = l.waitQ[:len(l.waitQ)-1]
 	l.busy = true
 	l.into.occupant = t // reserve: "room for an entire message"
 	l.lastStart = l.ic.k.Now()
@@ -588,7 +735,15 @@ func (l *link) tryStart() {
 		wire = sim.Duration(float64(wire) * l.slowdown)
 	}
 	dur := l.ic.costs.HopFixed + wire + l.propagation
-	l.ic.k.After(dur, func() { l.complete(t) })
+	// Hand-built transfers (multicast) bind their thunk on first use;
+	// pooled shells carry one from birth.
+	t.ic = l.ic
+	if t.completeFn == nil {
+		tt := t
+		t.completeFn = func() { tt.curLink.complete(tt) }
+	}
+	t.curLink = l
+	l.ic.k.After(dur, t.completeFn)
 }
 
 // complete finishes a transmission: the message now sits in l's
@@ -597,7 +752,9 @@ func (l *link) complete(t *transfer) {
 	l.busy = false
 	l.busyTime += l.ic.k.Now().Sub(l.lastStart)
 	l.count++
-	l.ic.tracer.EmitSpan(trace.KHop, t.msg.Trace, "fabric", l.name, l.lastStart, msgDetail(t.msg))
+	if l.ic.tracer.Enabled() {
+		l.ic.tracer.EmitSpan(trace.KHop, t.msg.Trace, "fabric", l.name, l.lastStart, msgDetail(t.msg))
+	}
 
 	// Free the upstream buffer the message just vacated.
 	if t.holder != nil {
@@ -627,10 +784,19 @@ func (l *link) complete(t *transfer) {
 		tr.Count("hpc.delivered", 1)
 		tr.Count("hpc.bytes", float64(t.msg.Size))
 	}
-	d := &Delivery{Msg: t.msg, release: func() {
-		l.into.occupant = nil
-		l.tryStart()
-	}}
+	t.lastLink = l
+	if t.releaseFn == nil {
+		tt := t
+		t.releaseFn = func() {
+			ll := tt.lastLink
+			ll.into.occupant = nil
+			tt.released = true
+			tt.maybeRecycle()
+			ll.tryStart()
+		}
+	}
+	t.dlv = Delivery{Msg: t.msg, release: t.releaseFn}
+	d := &t.dlv
 	if fn := l.ic.deliver[t.msg.Dst]; fn != nil {
 		fn(d)
 	} else {
@@ -641,6 +807,8 @@ func (l *link) complete(t *transfer) {
 	if t.onDelivered != nil {
 		t.onDelivered(t.msg)
 	}
+	t.doneHops = true
+	t.maybeRecycle()
 }
 
 // freed handles the bookkeeping after a buffer is vacated: restart the
@@ -648,15 +816,14 @@ func (l *link) complete(t *transfer) {
 // the freed buffer was an output section.
 func (ic *Interconnect) freed(b *buffer, posOfVacatingLink int, t *transfer) {
 	// Output section freed: room-available interrupt.
-	for e := range ic.outSec {
-		if ic.outSec[e] == b {
-			handlers := ic.onRoom[e]
-			ic.onRoom[e] = nil
-			for _, fn := range handlers {
-				fn()
-			}
-			return
+	if b.outEP != 0 {
+		e := int(b.outEP - 1)
+		handlers := ic.onRoom[e]
+		ic.onRoom[e] = nil
+		for _, fn := range handlers {
+			fn()
 		}
+		return
 	}
 	// Cluster buffer freed: the link feeding it may proceed.
 	if posOfVacatingLink >= 1 {

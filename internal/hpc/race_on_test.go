@@ -1,0 +1,5 @@
+//go:build race
+
+package hpc
+
+const raceEnabled = true

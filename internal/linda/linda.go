@@ -125,17 +125,14 @@ type waiter struct {
 	tuple Tuple
 }
 
-var spaceSeq int
-
 // New builds a tuple space whose managers run on the given nodes.
 func New(sys *core.System, nodes []*core.Machine) *Space {
 	s := &Space{
-		sys: sys, nodes: nodes, uid: spaceSeq,
+		sys: sys, nodes: nodes, uid: sys.NextUID("linda"),
 		store:   make([]map[string][]Tuple, len(nodes)),
 		waiters: make([]map[string][]reqMsg, len(nodes)),
 		replies: map[uint64]*waiter{},
 	}
-	spaceSeq++
 	for i, m := range nodes {
 		i := i
 		s.store[i] = map[string][]Tuple{}

@@ -79,16 +79,22 @@ type IF struct {
 func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 	f := &IF{node: node, ic: ic, ep: ep, services: make(map[string]Service)}
 	node.OnCrash(func() {
+		// The crash discarded the queued ISRs (kern nils the interrupt
+		// queue), so this is the last reference to these messages.
 		for _, d := range f.pending {
 			f.DroppedDead++
+			msg := d.Msg
 			d.Release()
+			ic.FreeMessage(msg)
 		}
 		f.pending = nil
 	})
 	ic.SetDeliver(ep, func(d *hpc.Delivery) {
 		if node.Crashed() {
 			f.DroppedDead++
+			msg := d.Msg
 			d.Release()
+			ic.FreeMessage(msg)
 			return
 		}
 		env, ok := d.Msg.Payload.(Envelope)
@@ -106,7 +112,9 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 		svc, ok := f.services[env.Service]
 		if !ok {
 			f.Dropped++
+			msg := d.Msg
 			d.Release()
+			ic.FreeMessage(msg)
 			return
 		}
 		node.Tracer().Emit(trace.KService, d.Msg.Trace, node.Name(), "svc/"+env.Service,
@@ -123,6 +131,10 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			f.unpend(d)
 			d.Release() // message has been read out of the input section
 			svc.Handle(msg)
+			// Handlers copy what they need out of the message before
+			// returning (they model the ISR's read-out), so an
+			// arena-born shell can go back for reuse here.
+			ic.FreeMessage(msg)
 		})
 	})
 	return f
@@ -168,12 +180,16 @@ func (f *IF) Send(sp *kern.Subprocess, dst topo.EndpointID, service string, size
 // protocol layer can thread one causal ID through every wire message a
 // logical operation produces.
 func (f *IF) SendCtx(sp *kern.Subprocess, tid uint64, dst topo.EndpointID, service string, size int, body any) error {
-	return f.ic.Send(sp.Proc(), &hpc.Message{
-		Src: f.ep, Dst: dst, Size: size,
-		Payload: Envelope{Service: service, Body: body},
-		Tag:     service,
-		Trace:   tid,
-	}, nil)
+	m := f.ic.AllocMessage()
+	m.Src, m.Dst, m.Size = f.ep, dst, size
+	m.Payload = Envelope{Service: service, Body: body}
+	m.Tag = service
+	m.Trace = tid
+	if err := f.ic.Send(sp.Proc(), m, nil); err != nil {
+		f.ic.FreeMessage(m) // never entered the fabric
+		return err
+	}
+	return nil
 }
 
 // SendAsync transmits from interrupt or event context: if the output
@@ -186,24 +202,24 @@ func (f *IF) SendAsync(dst topo.EndpointID, service string, size int, body any, 
 // SendAsyncCtx is SendAsync carrying an explicit trace ID (0 for
 // untraced).
 func (f *IF) SendAsyncCtx(tid uint64, dst topo.EndpointID, service string, size int, body any, onDelivered func()) {
-	msg := &hpc.Message{
-		Src: f.ep, Dst: dst, Size: size,
-		Payload: Envelope{Service: service, Body: body},
-		Tag:     service,
-		Trace:   tid,
+	msg := f.ic.AllocMessage()
+	msg.Src, msg.Dst, msg.Size = f.ep, dst, size
+	msg.Payload = Envelope{Service: service, Body: body}
+	msg.Tag = service
+	msg.Trace = tid
+	var cb func(*hpc.Message)
+	if onDelivered != nil {
+		cb = func(*hpc.Message) { onDelivered() }
 	}
 	var try func()
 	try = func() {
-		ok, err := f.ic.TrySend(msg, func(*hpc.Message) {
-			if onDelivered != nil {
-				onDelivered()
-			}
-		})
+		ok, err := f.ic.TrySend(msg, cb)
 		if err != nil {
 			// Unreachable (partitioned) or oversize: drop. End-to-end
 			// recovery — channel timeouts, peer-death — is the caller's
 			// protocol layer's job.
 			f.AsyncDropped++
+			f.ic.FreeMessage(msg)
 			return
 		}
 		if !ok {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -14,10 +13,27 @@ import (
 // host goroutines: all access happens either before Run or from within
 // simulated processes and scheduled events.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
+	now Time
+	seq uint64
+	rng *rand.Rand
+
+	// Pending events live in two places: a 4-ary min-heap for future
+	// timestamps, and a FIFO (nowQ[nowHead:]) for events scheduled at
+	// the current instant. The FIFO is the fast path — process wakeups,
+	// token handoffs, and Spawn all schedule "at now" — and it is
+	// already in (at, seq) order because seq is monotonic and the queue
+	// only ever receives events stamped with the current time. Every
+	// event in the heap predates every event in the FIFO that shares
+	// its timestamp (it was pushed while now was still earlier, hence
+	// with a smaller seq), so dispatch just compares the two fronts.
+	events  []*event
+	nowQ    []*event
+	nowHead int
+
+	// free is the event shell pool; nCanceled counts canceled shells
+	// still resident, for compaction.
+	free      []*event
+	nCanceled int
 
 	running *Proc // the proc currently holding the run token, if any
 	yield   chan struct{}
@@ -56,15 +72,24 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // At schedules fn to run at time at (clamped to the present) and
-// returns a Timer that can cancel it.
+// returns a Timer that can cancel it. Steady-state scheduling is
+// allocation-free: the shell comes from the kernel's pool.
 func (k *Kernel) At(at Time, fn func()) Timer {
 	if at < k.now {
 		at = k.now
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = at
+	ev.seq = k.seq
+	ev.fn = fn
 	k.seq++
-	heap.Push(&k.events, ev)
-	return Timer{ev: ev}
+	if at == k.now {
+		ev.index = nowIdx
+		k.nowQ = append(k.nowQ, ev)
+	} else {
+		k.heapPush(ev)
+	}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.
@@ -86,6 +111,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		state:  procNew,
 	}
+	p.resumeFn = func() { k.switchTo(p) }
 	k.nextID++
 	k.procs = append(k.procs, p)
 	k.alive++
@@ -146,19 +172,62 @@ func (k *Kernel) Alive() int { return k.alive }
 // events remain queued; a subsequent Run resumes them.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// front returns the earliest pending event without removing it, or
+// nil when nothing is queued. Canceled shells are still visible here;
+// the dispatch loops sweep them.
+func (k *Kernel) front() *event {
+	hasNow := k.nowHead < len(k.nowQ)
+	hasHeap := len(k.events) > 0
+	switch {
+	case hasNow && hasHeap:
+		if eventLess(k.nowQ[k.nowHead], k.events[0]) {
+			return k.nowQ[k.nowHead]
+		}
+		return k.events[0]
+	case hasNow:
+		return k.nowQ[k.nowHead]
+	case hasHeap:
+		return k.events[0]
+	}
+	return nil
+}
+
+// popFront removes ev, which must be the event front() just returned.
+func (k *Kernel) popFront(ev *event) {
+	if ev.index == nowIdx {
+		k.nowQ[k.nowHead] = nil
+		k.nowHead++
+		if k.nowHead == len(k.nowQ) {
+			k.nowQ = k.nowQ[:0]
+			k.nowHead = 0
+		}
+		ev.index = freeIdx
+		return
+	}
+	k.heapPop()
+}
+
 // Run dispatches events until the event queue drains or Stop is
 // called. If processes remain blocked when the queue drains, Run
 // returns a *DeadlockError describing them; the processes stay parked
 // and can be cleaned up with Shutdown.
 func (k *Kernel) Run() error {
 	k.stopped = false
-	for k.events.Len() > 0 && !k.stopped {
-		ev := heap.Pop(&k.events).(*event)
+	for !k.stopped {
+		ev := k.front()
+		if ev == nil {
+			break
+		}
+		k.popFront(ev)
 		if ev.canceled {
+			k.nCanceled--
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		k.recycle(ev)
+		fn()
 	}
 	if k.stopped {
 		return nil
@@ -177,20 +246,25 @@ func (k *Kernel) Run() error {
 func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now.Add(d)) }
 
 // RunUntil dispatches events with timestamps <= deadline and then sets
-// the clock to deadline (if it is in the future).
+// the clock to deadline (if it is in the future). An event scheduled
+// exactly at the deadline fires.
 func (k *Kernel) RunUntil(deadline Time) {
 	k.stopped = false
-	for k.events.Len() > 0 && !k.stopped {
-		ev := k.events[0]
-		if ev.at > deadline {
+	for !k.stopped {
+		ev := k.front()
+		if ev == nil || ev.at > deadline {
 			break
 		}
-		heap.Pop(&k.events)
+		k.popFront(ev)
 		if ev.canceled {
+			k.nCanceled--
+			k.recycle(ev)
 			continue
 		}
 		k.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		k.recycle(ev)
+		fn()
 	}
 	if !k.stopped && k.now < deadline {
 		k.now = deadline

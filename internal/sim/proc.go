@@ -32,6 +32,11 @@ type Proc struct {
 
 	// parkPending holds the reason for an armed Park awaiting Block.
 	parkPending string
+
+	// resumeFn is the proc's switch-in thunk, bound once at spawn so
+	// the hot wake paths (unpark, Sleep, Yield) schedule it without
+	// allocating a fresh closure each time.
+	resumeFn func()
 }
 
 // SetDaemon marks the proc as a background service: a simulation where
@@ -75,7 +80,7 @@ func (p *Proc) park(reason string) {
 // after events already queued at this instant. It must be called from
 // kernel context or from another running proc.
 func (p *Proc) unpark() {
-	p.k.At(p.k.now, func() { p.k.switchTo(p) })
+	p.k.At(p.k.now, p.resumeFn)
 }
 
 // Sleep blocks the proc for d of virtual time.
@@ -84,7 +89,7 @@ func (p *Proc) Sleep(d Duration) {
 		p.Yield()
 		return
 	}
-	p.k.At(p.k.now.Add(d), func() { p.k.switchTo(p) })
+	p.k.At(p.k.now.Add(d), p.resumeFn)
 	p.park("sleep")
 }
 
@@ -94,14 +99,14 @@ func (p *Proc) SleepUntil(t Time) {
 		p.Yield()
 		return
 	}
-	p.k.At(t, func() { p.k.switchTo(p) })
+	p.k.At(t, p.resumeFn)
 	p.park("sleep-until")
 }
 
 // Yield relinquishes the token until all other work scheduled at the
 // current instant has run.
 func (p *Proc) Yield() {
-	p.k.At(p.k.now, func() { p.k.switchTo(p) })
+	p.k.At(p.k.now, p.resumeFn)
 	p.park("yield")
 }
 

@@ -140,8 +140,7 @@ const (
 // App.StartedAt holds the makespan. onReady (may be nil) fires inside
 // the simulation when the last process starts.
 func Launch(sys *core.System, host *core.Machine, nodes []*core.Machine, img Image, mode Mode, onReady func()) *App {
-	app := &App{Mode: mode, uid: appSeq, onReady: onReady}
-	appSeq++
+	app := &App{Mode: mode, uid: sys.NextUID("stub"), onReady: onReady}
 	for i, n := range nodes {
 		app.Procs = append(app.Procs, &Proc{app: app, node: n, id: i})
 	}
@@ -160,8 +159,7 @@ func LaunchTree(sys *core.System, host *core.Machine, nodes []*core.Machine, img
 	if fanout < 1 {
 		fanout = 1
 	}
-	app := &App{Mode: SharedTree, uid: appSeq, onReady: onReady}
-	appSeq++
+	app := &App{Mode: SharedTree, uid: sys.NextUID("stub"), onReady: onReady}
 	for i, n := range nodes {
 		app.Procs = append(app.Procs, &Proc{app: app, node: n, id: i})
 	}
@@ -290,7 +288,6 @@ func launchTree(sys *core.System, host *core.Machine, app *App, img Image, fanou
 
 type chunkMsg struct{ seq, of int }
 
-var appSeq int
 
 func scName(app *App, i int) string   { return fmt.Sprintf("stub.sc.%d.%d", app.uid, i) }
 func treeName(app *App, i int) string { return fmt.Sprintf("stub.tree.%d.%d", app.uid, i) }
