@@ -56,6 +56,18 @@ type benchReport struct {
 	ReplParallelMs    float64 `json:"repl_parallel_ms"`
 	ReplSpeedup       float64 `json:"repl_speedup"`
 	ReplByteIdentical bool    `json:"repl_byte_identical"`
+
+	// Classic vs pipelined comm profile on the large-write stream
+	// (single channel, 8 KB writes): host cost per delivered message
+	// and the virtual-time speedup of the windowed fast path. Fewer
+	// host events per message means the pipelined protocol is cheaper
+	// to simulate, not just faster in virtual time.
+	CommStreamMsgs            int     `json:"comm_stream_msgs"`
+	CommClassicNsPerMsg       float64 `json:"comm_classic_ns_per_msg"`
+	CommPipelinedNsPerMsg     float64 `json:"comm_pipelined_ns_per_msg"`
+	CommClassicEventsPerMsg   float64 `json:"comm_classic_events_per_msg"`
+	CommPipelinedEventsPerMsg float64 `json:"comm_pipelined_events_per_msg"`
+	CommVirtualSpeedup        float64 `json:"comm_virtual_speedup"`
 }
 
 func cmdBench(args []string) {
@@ -100,7 +112,23 @@ func cmdBench(args []string) {
 	fmt.Printf("messages:    %d app messages in %v  (%.0f ns/msg, %.0fk msgs/s, %.0f B/msg)\n",
 		r.MsgCount, wall.Round(time.Millisecond), r.MsgNsPerMsg, r.MsgPerSec/1e3, r.MsgBytesPerMsg)
 
-	// 3. Suite replication, serial vs worker pool.
+	// 3. Classic vs pipelined comm profile: the same large-write stream
+	// through both stacks.
+	const streamRuns, streamSize, streamMsgs = 10, 8192, 64
+	cWall, cEvents, cVirt := benchStream(streamRuns, streamSize, streamMsgs, core.Classic())
+	pWall, pEvents, pVirt := benchStream(streamRuns, streamSize, streamMsgs, core.Pipelined())
+	n := float64(streamRuns * streamMsgs)
+	r.CommStreamMsgs = streamRuns * streamMsgs
+	r.CommClassicNsPerMsg = float64(cWall.Nanoseconds()) / n
+	r.CommPipelinedNsPerMsg = float64(pWall.Nanoseconds()) / n
+	r.CommClassicEventsPerMsg = float64(cEvents) / n
+	r.CommPipelinedEventsPerMsg = float64(pEvents) / n
+	r.CommVirtualSpeedup = cVirt.Seconds() / pVirt.Seconds()
+	fmt.Printf("comm:        stream %dx%dB  classic %.0f ns/msg %.1f events/msg, pipelined %.0f ns/msg %.1f events/msg  (virtual %.2fx)\n",
+		streamMsgs, streamSize, r.CommClassicNsPerMsg, r.CommClassicEventsPerMsg,
+		r.CommPipelinedNsPerMsg, r.CommPipelinedEventsPerMsg, r.CommVirtualSpeedup)
+
+	// 4. Suite replication, serial vs worker pool.
 	ids := vorxbench.DeterministicIDs()
 	if *suite != "" {
 		ids = strings.Split(*suite, ",")
@@ -111,7 +139,12 @@ func cmdBench(args []string) {
 	r.SuiteIDs = strings.Join(ids, ",")
 	r.SuiteWorkers = vorxbench.Workers(*workers)
 	serialOut, serialWall := vorxbench.TimedRun(ids, 1)
-	parOut, parWall := vorxbench.TimedRun(ids, r.SuiteWorkers)
+	parOut, parWall := serialOut, serialWall
+	if r.SuiteWorkers > 1 {
+		// With one effective worker the pool would take the serial path
+		// anyway; rerunning it only measures wall-clock noise.
+		parOut, parWall = vorxbench.TimedRun(ids, r.SuiteWorkers)
+	}
 	r.SuiteSerialMs = float64(serialWall.Microseconds()) / 1000
 	r.SuiteParallelMs = float64(parWall.Microseconds()) / 1000
 	r.SuiteSpeedup = serialWall.Seconds() / parWall.Seconds()
@@ -120,7 +153,7 @@ func cmdBench(args []string) {
 		len(ids), serialWall.Round(time.Millisecond), r.SuiteWorkers, parWall.Round(time.Millisecond),
 		r.SuiteSpeedup, r.SuiteByteIdentical)
 
-	// 4. Seeded replications of the macro workload.
+	// 5. Seeded replications of the macro workload.
 	ss := make([]int64, *seeds)
 	for i := range ss {
 		ss[i] = int64(i + 1)
@@ -129,9 +162,12 @@ func cmdBench(args []string) {
 	start := time.Now()
 	serialDigests := vorxbench.ReplicateSeeds(ss, 1, vorxbench.SeededRun)
 	serialWall = time.Since(start)
-	start = time.Now()
-	parDigests := vorxbench.ReplicateSeeds(ss, r.SuiteWorkers, vorxbench.SeededRun)
-	parWall = time.Since(start)
+	parDigests, parWall := serialDigests, serialWall
+	if r.SuiteWorkers > 1 {
+		start = time.Now()
+		parDigests = vorxbench.ReplicateSeeds(ss, r.SuiteWorkers, vorxbench.SeededRun)
+		parWall = time.Since(start)
+	}
 	r.ReplSerialMs = float64(serialWall.Microseconds()) / 1000
 	r.ReplParallelMs = float64(parWall.Microseconds()) / 1000
 	r.ReplSpeedup = serialWall.Seconds() / parWall.Seconds()
@@ -192,6 +228,26 @@ func benchKernel(n int) (time.Duration, float64) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	return wall, float64(m1.TotalAlloc - m0.TotalAlloc)
+}
+
+// benchStream runs the large-write stream workload under a comm
+// profile, returning total host wall time, total host events
+// scheduled, and the virtual makespan of one run.
+func benchStream(runs, size, msgs int, cp core.CommProfile) (time.Duration, uint64, sim.Duration) {
+	var wall time.Duration
+	var events uint64
+	var virt sim.Duration
+	for i := 0; i < runs; i++ {
+		sys, err := core.Build(core.Config{Nodes: 2, Seed: 1, Comm: cp})
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		virt = workload.Stream(sys, size, msgs)
+		wall += time.Since(start)
+		events += sys.K.Scheduled()
+	}
+	return wall, events, virt
 }
 
 // benchMessages runs the all-to-one workload `runs` times on fresh

@@ -81,6 +81,25 @@ func main() {
 	}
 }
 
+// commFlag registers -comm on fs and returns a resolver to call after
+// parsing. The default is the classic stop-and-wait stack, so every
+// command's output is unchanged unless -comm pipelined is asked for.
+func commFlag(fs *flag.FlagSet) func() core.CommProfile {
+	name := fs.String("comm", "classic", "communication profile: classic or pipelined")
+	return func() core.CommProfile {
+		switch *name {
+		case "classic":
+			return core.Classic()
+		case "pipelined":
+			return core.Pipelined()
+		default:
+			fmt.Fprintf(os.Stderr, "vorx: unknown -comm profile %q (want classic or pipelined)\n", *name)
+			os.Exit(2)
+			panic("unreachable")
+		}
+	}
+}
+
 // traceCtx carries the `vorx trace` options into a demo run. A nil
 // *traceCtx leaves the system tracer disabled, so the plain commands
 // are byte-identical to their untraced behaviour.
@@ -219,8 +238,9 @@ func runPing(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("ping", flag.ExitOnError)
 	size := fs.Int("size", 4, "message size in bytes")
 	rounds := fs.Int("rounds", 1000, "messages to send")
+	comm := commFlag(fs)
 	fs.Parse(args)
-	sys, err := core.Build(core.Config{Nodes: 2, Seed: 1})
+	sys, err := core.Build(core.Config{Nodes: 2, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
@@ -236,8 +256,9 @@ func runLinks(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("links", flag.ExitOnError)
 	nodes := fs.Int("nodes", 20, "processing nodes")
 	msgs := fs.Int("msgs", 10, "messages per sender")
+	comm := commFlag(fs)
 	fs.Parse(args)
-	sys, err := core.Build(core.Config{Nodes: *nodes, Seed: 1})
+	sys, err := core.Build(core.Config{Nodes: *nodes, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
@@ -263,8 +284,9 @@ func runLinks(args []string, tc *traceCtx) {
 func runMix(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("mix", flag.ExitOnError)
 	nodes := fs.Int("nodes", 6, "processing nodes")
+	comm := commFlag(fs)
 	fs.Parse(args)
-	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
@@ -299,6 +321,7 @@ func runChaos(args []string, tc *traceCtx) {
 	msgs := fs.Int("msgs", 24, "messages per channel pair")
 	schedFile := fs.String("schedule", "", "fault schedule file (default: built-in demo)")
 	detect := fs.String("detect", "", "oracle crash-detection delay, e.g. 500us (default 2ms)")
+	comm := commFlag(fs)
 	fs.Parse(args)
 
 	text := demoSchedule
@@ -316,7 +339,7 @@ func runChaos(args []string, tc *traceCtx) {
 		os.Exit(1)
 	}
 
-	sys, err := core.Build(core.Config{Hosts: *hosts, Nodes: *nodes, Seed: 1})
+	sys, err := core.Build(core.Config{Hosts: *hosts, Nodes: *nodes, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
@@ -435,6 +458,7 @@ func runHeal(args []string, tc *traceCtx) {
 	confirm := fs.String("confirm", "2ms", "heartbeat silence before death is confirmed")
 	ckpt := fs.String("ckpt", "1ms", "checkpoint interval")
 	horizon := fs.String("horizon", "80ms", "supervision horizon (beacons stop here)")
+	comm := commFlag(fs)
 	fs.Parse(args)
 	if *pairs < 1 || *nodes < 2*(*pairs)+1 {
 		fmt.Fprintf(os.Stderr, "vorx: need at least %d nodes for %d pairs plus a spare\n", 2*(*pairs)+1, *pairs)
@@ -450,7 +474,7 @@ func runHeal(args []string, tc *traceCtx) {
 		durs[name] = d
 	}
 
-	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)

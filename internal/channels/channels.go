@@ -85,6 +85,11 @@ type Service struct {
 	ackTimeout sim.Duration
 	maxRetries int
 
+	// winCfg is the sliding-window default applied to every channel
+	// end this service opens or reincarnates (the pipelined profile).
+	// The zero value keeps the classic stop-and-wait window of 1.
+	winCfg WindowConfig
+
 	// Stats.
 	Written      int
 	Delivered    int
@@ -133,6 +138,7 @@ func putFrag(f *dataFrag) {
 	*f = dataFrag{} // drop the app payload reference
 	fragPool.Put(f)
 }
+
 type busyMsg struct {
 	ch  uint64
 	seq int
@@ -160,6 +166,12 @@ func NewService(f *netif.IF, mgr *objmgr.Manager) *Service {
 		Cost: func(m *hpc.Message) sim.Duration {
 			frag := m.Payload.(netif.Envelope).Body.(*dataFrag)
 			return costs.ChanRecvProto + costs.KernelCopyTime(frag.size)
+		},
+		// Fragments riding a coalesced interrupt amortize the protocol
+		// entry: only the kernel copy is per-message.
+		BatchCost: func(m *hpc.Message) sim.Duration {
+			frag := m.Payload.(netif.Envelope).Body.(*dataFrag)
+			return costs.KernelCopyTime(frag.size)
 		},
 		Handle: s.handleData,
 	})
@@ -324,6 +336,26 @@ func (s *Service) putOut(om *outMsg) {
 	}
 }
 
+// WindowConfig is the service-wide sliding-window configuration: every
+// channel end subsequently opened (or reincarnated after migration)
+// starts with Window un-acknowledged writes allowed in flight instead
+// of 1. The zero value is the classic stop-and-wait protocol.
+type WindowConfig struct {
+	Window int
+}
+
+// SetWindowConfig installs the service-wide window default. Existing
+// channel ends are untouched; use Channel.SetWindow for those.
+func (s *Service) SetWindowConfig(wc WindowConfig) { s.winCfg = wc }
+
+// defaultWindow is the window a freshly created channel end starts with.
+func (s *Service) defaultWindow() int {
+	if s.winCfg.Window > 1 {
+		return s.winCfg.Window
+	}
+	return 1
+}
+
 // SetWindow sets the channel end's write window (>=1). Call before
 // writing; both ends keep their own windows independently.
 func (ch *Channel) SetWindow(k int) {
@@ -341,7 +373,7 @@ func (ch *Channel) Window() int { return ch.window }
 // rendezvous on a channel by specifying its name in an open call").
 func (s *Service) Open(sp *kern.Subprocess, name string, mode objmgr.Mode) *Channel {
 	p := s.mgr.Open(sp, s.f, name, mode)
-	ch := &Channel{svc: s, id: p.Chan, name: name, peer: p.Peer, window: 1}
+	ch := &Channel{svc: s, id: p.Chan, name: name, peer: p.Peer, window: s.defaultWindow()}
 	s.chans[p.Chan] = ch
 	if frags := s.preopen[p.Chan]; len(frags) > 0 {
 		delete(s.preopen, p.Chan)
@@ -392,6 +424,11 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 			fmt.Sprintf("seq=%d %dB ->ep%d", om.seq, size, ch.peer))
 		tr.Count("chan.written", 1)
 		tr.Count("chan.bytes_written", float64(size))
+		if ch.window > 1 {
+			tr.Emit(trace.KWindow, om.tid, node, ch.lane(),
+				fmt.Sprintf("credit seq=%d inflight=%d/%d", om.seq, len(ch.pending), ch.window))
+			tr.GaugeSet("channels.window.inflight", float64(len(ch.pending)))
+		}
 	}
 	if err := ch.sendFragments(sp, om, false); err != nil {
 		ch.dropPending(om)
@@ -620,7 +657,7 @@ func (s *Service) FailEnd(id uint64) bool {
 // replays from the surviving peer are re-acknowledged, not
 // re-delivered.
 func (s *Service) Reincarnate(id uint64, name string, peer topo.EndpointID, sendSeq, recvSeq int) *Channel {
-	ch := &Channel{svc: s, id: id, name: name, peer: peer, window: 1,
+	ch := &Channel{svc: s, id: id, name: name, peer: peer, window: s.defaultWindow(),
 		sendSeq: sendSeq, recvSeq: recvSeq, managed: true}
 	s.chans[id] = ch
 	if frags := s.preopen[id]; len(frags) > 0 {
@@ -882,6 +919,13 @@ func (s *Service) handleAck(m *hpc.Message) {
 			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
 			s.tracer().Emit(trace.KAck, om.tid, s.f.Node().Name(), ch.lane(),
 				fmt.Sprintf("seq=%d", a.seq))
+			if ch.window > 1 {
+				if tr := s.tracer(); tr.Enabled() {
+					tr.Emit(trace.KWindow, om.tid, s.f.Node().Name(), ch.lane(),
+						fmt.Sprintf("advance seq=%d inflight=%d/%d", a.seq, len(ch.pending), ch.window))
+					tr.GaugeSet("channels.window.inflight", float64(len(ch.pending)))
+				}
+			}
 			if ch.retain {
 				// Keep the acknowledged write until the supervisor's
 				// stable checkpoint mark passes it: an ack only means

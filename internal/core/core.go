@@ -44,6 +44,50 @@ type Config struct {
 	Seed int64
 	// Costs overrides the calibrated cost model (nil = defaults).
 	Costs *m68k.Costs
+	// Comm selects the communication profile. The zero value is the
+	// classic stop-and-wait stack, byte-identical to earlier revisions;
+	// Pipelined() turns on the windowed fast path at every layer.
+	Comm CommProfile
+}
+
+// CommProfile names a communication stack configuration: the classic
+// stop-and-wait protocols the paper starts from, or the pipelined fast
+// path its retrospective argues for (windowed fragments, coalesced
+// acks, interrupt batching, multi-slot ports). Every field at its zero
+// value leaves the corresponding layer on its classic behaviour.
+type CommProfile struct {
+	// Window is the channel write window (and the flowctl go-back-N
+	// window where a Reliable is built from this profile); <= 1 is
+	// classic stop-and-wait.
+	Window int
+	// OutputDepth is the per-output-port buffer depth K; <= 1 keeps
+	// the single hardware slot.
+	OutputDepth int
+	// Coalesce enables receive-interrupt coalescing on every node;
+	// CoalesceHorizon is how long the first delivery of a batch waits
+	// for company (0 batches only same-instant arrivals).
+	Coalesce        bool
+	CoalesceHorizon sim.Duration
+}
+
+// Classic is the default profile: every protocol stop-and-waits.
+func Classic() CommProfile { return CommProfile{} }
+
+// Pipelined is the evolved profile: an 8-deep write window, 4-slot
+// output ports, and adaptive interrupt coalescing (zero horizon: an
+// idle node takes the interrupt immediately; arrivals during a busy
+// drain chain into the next batch, so fragment trains batch under load
+// with no added latency for fine-grain traffic).
+func Pipelined() CommProfile {
+	return CommProfile{Window: 8, OutputDepth: 4, Coalesce: true}
+}
+
+// Name renders the profile for reports.
+func (cp CommProfile) Name() string {
+	if cp.Window <= 1 && cp.OutputDepth <= 1 && !cp.Coalesce {
+		return "classic"
+	}
+	return "pipelined"
 }
 
 // Machine is one attached computer: a host workstation or a processing
@@ -179,6 +223,21 @@ func Build(cfg Config) (*System, error) {
 	sys.Mgr = objmgr.New(ifs, mgrEPs)
 	for _, m := range sys.Machines() {
 		m.Chans = channels.NewService(m.IF, sys.Mgr)
+	}
+
+	// Apply the communication profile. Classic (the zero value) takes
+	// none of these branches, leaving every layer byte-identical to the
+	// stop-and-wait stack.
+	if cfg.Comm.OutputDepth > 1 {
+		ic.SetOutputDepth(cfg.Comm.OutputDepth)
+	}
+	for _, m := range sys.Machines() {
+		if cfg.Comm.Coalesce {
+			m.IF.SetCoalesce(cfg.Comm.CoalesceHorizon)
+		}
+		if cfg.Comm.Window > 1 {
+			m.Chans.SetWindowConfig(channels.WindowConfig{Window: cfg.Comm.Window})
+		}
 	}
 	return sys, nil
 }

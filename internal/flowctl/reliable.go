@@ -5,6 +5,7 @@ import (
 
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/snet"
+	"hpcvorx/internal/trace"
 )
 
 // Reliable is the software error detection and recovery the early
@@ -36,6 +37,21 @@ type Reliable struct {
 	Timeouts        int
 	// Delivered counts messages handed to receivers exactly once.
 	Delivered int
+
+	// Windowed (go-back-N) mode, off unless SetWindowConfig enables
+	// it; see window.go. winSend/winRecv hold per-direction stream
+	// state and stay nil in classic mode.
+	wc      WindowConfig
+	winSend map[[2]int]*gbnSend
+	winRecv map[[2]int]*gbnRecv
+	// Tracer, when set and enabled, counts coalesced and piggybacked
+	// acks under "flowctl.acks.*".
+	Tracer *trace.Tracer
+	// AcksCoalesced counts in-order arrivals whose acknowledgement
+	// rode a cumulative ack instead of getting its own; AcksPiggybacked
+	// counts acks folded into reverse data traffic.
+	AcksCoalesced   int
+	AcksPiggybacked int
 }
 
 type relPend struct {
@@ -71,6 +87,13 @@ func NewReliable(k *sim.Kernel, nw *snet.Network) *Reliable {
 		seen := map[int]bool{} // dedupe by seq (unique per Reliable instance)
 		st.SetDeliver(func(m snet.Message) {
 			switch b := m.Payload.(type) {
+			case gbnData:
+				r.recvWindowed(st, i, m, b)
+			case gbnAck:
+				if m.Corrupt {
+					return // a damaged ack is garbage; timeout covers it
+				}
+				r.applyAck(i, m.Src, b.upTo)
 			case relData:
 				if m.Corrupt {
 					// Checksum failure: NAK, the sender will resend.
@@ -124,6 +147,9 @@ func (r *Reliable) SetDeliver(i int, fn func(m snet.Message)) { r.userFns[i] = f
 // buffer. Returns the number of data transfers used. One outstanding
 // Send per station at a time (stop-and-wait).
 func (r *Reliable) Send(p *sim.Proc, src *snet.Station, dst, size int, payload any) int {
+	if r.Windowed() {
+		return r.sendWindowed(p, src, dst, size, payload)
+	}
 	r.seq++
 	seq := r.seq
 	transfers := 0
@@ -161,4 +187,9 @@ func (r *Reliable) Send(p *sim.Proc, src *snet.Station, dst, size int, payload a
 }
 
 // Name identifies the protocol in reports.
-func (r *Reliable) Name() string { return "reliable-stop-and-wait" }
+func (r *Reliable) Name() string {
+	if r.Windowed() {
+		return fmt.Sprintf("reliable-gbn-w%d", r.wc.Window)
+	}
+	return "reliable-stop-and-wait"
+}

@@ -1,0 +1,319 @@
+package flowctl
+
+import (
+	"fmt"
+
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/snet"
+)
+
+// WindowConfig switches a Reliable instance from stop-and-wait to the
+// pipelined go-back-N protocol: up to Window data messages per
+// direction stay in flight, receivers acknowledge cumulatively (one
+// ack covers every in-order seq up to it), acks are delayed so one can
+// cover a run of arrivals, and a pending ack is piggybacked on reverse
+// data traffic when any flows. The zero value (Window <= 1) keeps the
+// classic protocol bit-for-bit.
+type WindowConfig struct {
+	// Window is the per-direction in-flight limit. <= 1 is classic
+	// stop-and-wait.
+	Window int
+	// AckDelay is how long a receiver may sit on a cumulative ack
+	// waiting for more arrivals (or reverse traffic to piggyback on).
+	// SetWindowConfig defaults it to 100 µs when unset.
+	AckDelay sim.Duration
+	// AckBatch flushes the delayed ack once this many arrivals are
+	// owed. SetWindowConfig defaults it to Window/2 (at least 1).
+	AckBatch int
+}
+
+// SetWindowConfig enables the windowed protocol. Call before traffic
+// flows; per-pair state is created lazily as streams start.
+func (r *Reliable) SetWindowConfig(wc WindowConfig) {
+	if wc.Window <= 1 {
+		return
+	}
+	if wc.AckDelay <= 0 {
+		wc.AckDelay = 100 * sim.Microsecond
+	}
+	if wc.AckBatch <= 0 {
+		wc.AckBatch = wc.Window / 2
+		if wc.AckBatch < 1 {
+			wc.AckBatch = 1
+		}
+	}
+	r.wc = wc
+	r.winSend = make(map[[2]int]*gbnSend)
+	r.winRecv = make(map[[2]int]*gbnRecv)
+}
+
+// Windowed reports whether the pipelined protocol is active.
+func (r *Reliable) Windowed() bool { return r.wc.Window > 1 }
+
+// gbnSend is one direction's sender state: seqs [base, next) are in
+// flight, inflight[k] holding seq base+k. One writer proc per
+// direction at a time (the same discipline classic Send imposes
+// per station).
+type gbnSend struct {
+	base, next int
+	inflight   []gbnItem
+	timer      sim.Timer
+	fullWake   func() // writer parked on a full window
+	idleWake   func() // Drain waiter parked until all acked
+	resending  bool   // a go-back-N round is on the wire
+}
+
+type gbnItem struct {
+	size int
+	user any
+}
+
+// gbnRecv is one direction's receiver state.
+type gbnRecv struct {
+	expected int // next in-order seq
+	owed     int // in-order arrivals not yet covered by any ack
+	armed    bool
+	timer    sim.Timer
+}
+
+// Wire bodies. gbnData carries the reverse direction's cumulative ack
+// when one was owed at transmit time (-1 otherwise); gbnAck is the
+// standalone cumulative acknowledgement: every seq <= upTo arrived in
+// order.
+type gbnData struct {
+	seq     int
+	user    any
+	ackUpTo int
+}
+type gbnAck struct{ upTo int }
+
+func (r *Reliable) sendState(station, peer int) *gbnSend {
+	key := [2]int{station, peer}
+	gs := r.winSend[key]
+	if gs == nil {
+		gs = &gbnSend{}
+		r.winSend[key] = gs
+	}
+	return gs
+}
+
+func (r *Reliable) recvState(station, peer int) *gbnRecv {
+	key := [2]int{station, peer}
+	gr := r.winRecv[key]
+	if gr == nil {
+		gr = &gbnRecv{}
+		r.winRecv[key] = gr
+	}
+	return gr
+}
+
+// sendWindowed is Send under the go-back-N protocol: park while the
+// window is full, then transmit and return without waiting for the
+// ack — the window, not the RTT, is the brake.
+func (r *Reliable) sendWindowed(p *sim.Proc, src *snet.Station, dst, size int, payload any) int {
+	gs := r.sendState(src.ID(), dst)
+	for gs.next-gs.base >= r.wc.Window {
+		gs.fullWake = p.Park(fmt.Sprintf("gbn-window %d->%d", src.ID(), dst))
+		p.Block()
+	}
+	seq := gs.next
+	gs.next++
+	gs.inflight = append(gs.inflight, gbnItem{size: size, user: payload})
+	transfers := 1
+	d := gbnData{seq: seq, user: payload, ackUpTo: r.takePiggyback(src.ID(), dst)}
+	for src.Send(p, dst, size, d) != snet.Delivered {
+		p.Sleep(100 * sim.Microsecond)
+		transfers++
+	}
+	if !gs.timer.Pending() && !gs.resending && gs.next > gs.base {
+		r.armWindowTimer(src, dst, gs)
+	}
+	return transfers
+}
+
+// Drain parks p until every windowed send from src to dst has been
+// acknowledged. A no-op for streams that never started (or classic
+// mode).
+func (r *Reliable) Drain(p *sim.Proc, src *snet.Station, dst int) {
+	if r.winSend == nil {
+		return
+	}
+	gs := r.winSend[[2]int{src.ID(), dst}]
+	if gs == nil {
+		return
+	}
+	for gs.base < gs.next {
+		gs.idleWake = p.Park(fmt.Sprintf("gbn-drain %d->%d", src.ID(), dst))
+		p.Block()
+	}
+}
+
+// armWindowTimer (re)arms the retransmit timeout covering the lowest
+// unacked seq.
+func (r *Reliable) armWindowTimer(src *snet.Station, dst int, gs *gbnSend) {
+	gs.timer = r.k.After(r.AckTimeout, func() {
+		if gs.base >= gs.next || gs.resending {
+			return
+		}
+		r.Timeouts++
+		r.goBackN(src, dst, gs)
+	})
+}
+
+// goBackN retransmits everything in flight starting from the lowest
+// unacked seq — the whole-window resend that makes a lost cumulative
+// ack (or a dropped run of data) recoverable with no per-seq state.
+func (r *Reliable) goBackN(src *snet.Station, dst int, gs *gbnSend) {
+	gs.resending = true
+	top := gs.next
+	r.k.Spawn("gbn-resend", func(p *sim.Proc) {
+		cursor := gs.base
+		for cursor < top {
+			if cursor < gs.base {
+				cursor = gs.base // acks advanced past us mid-round
+				continue
+			}
+			off := cursor - gs.base
+			if off >= len(gs.inflight) {
+				break
+			}
+			it := gs.inflight[off]
+			r.Retransmissions++
+			d := gbnData{seq: cursor, user: it.user, ackUpTo: r.takePiggyback(src.ID(), dst)}
+			for src.Send(p, dst, it.size, d) != snet.Delivered {
+				p.Sleep(100 * sim.Microsecond)
+			}
+			cursor++
+		}
+		gs.resending = false
+		if gs.base < gs.next {
+			r.armWindowTimer(src, dst, gs)
+		}
+	})
+}
+
+// applyAck advances sender state (station -> peer) through a
+// cumulative ack: drop every in-flight item with seq <= upTo, wake a
+// window-blocked writer and, when the stream runs dry, the Drain
+// waiter.
+func (r *Reliable) applyAck(station, peer, upTo int) {
+	if r.winSend == nil {
+		return
+	}
+	gs := r.winSend[[2]int{station, peer}]
+	if gs == nil || upTo < gs.base {
+		return
+	}
+	n := upTo - gs.base + 1
+	if n > len(gs.inflight) {
+		n = len(gs.inflight)
+	}
+	// Copy-shift so the slice keeps its capacity and drops payload refs.
+	copy(gs.inflight, gs.inflight[n:])
+	for i := len(gs.inflight) - n; i < len(gs.inflight); i++ {
+		gs.inflight[i] = gbnItem{}
+	}
+	gs.inflight = gs.inflight[:len(gs.inflight)-n]
+	gs.base += n
+	gs.timer.Stop()
+	if gs.base < gs.next && !gs.resending {
+		r.armWindowTimer(r.nw.Station(station), peer, gs)
+	}
+	if gs.fullWake != nil && gs.next-gs.base < r.wc.Window {
+		w := gs.fullWake
+		gs.fullWake = nil
+		w()
+	}
+	if gs.base >= gs.next && gs.idleWake != nil {
+		w := gs.idleWake
+		gs.idleWake = nil
+		w()
+	}
+}
+
+// recvWindowed handles an arriving gbnData on station i: fold in any
+// piggybacked reverse ack, deliver in order exactly once, and either
+// delay the cumulative ack (coalescing) or — on a duplicate, a gap, or
+// a checksum failure — re-assert the stream position immediately so
+// the sender can go back.
+func (r *Reliable) recvWindowed(st *snet.Station, i int, m snet.Message, d gbnData) {
+	if d.ackUpTo >= 0 && !m.Corrupt {
+		r.applyAck(i, m.Src, d.ackUpTo)
+	}
+	gr := r.recvState(i, m.Src)
+	if m.Corrupt {
+		// Checksum failure: the immediate cumulative ack is the NAK
+		// equivalent — it tells the sender exactly where the in-order
+		// stream stands.
+		r.flushAck(st, i, m.Src, gr)
+		return
+	}
+	if d.seq == gr.expected {
+		gr.expected++
+		gr.owed++
+		r.Delivered++
+		if fn := r.userFns[i]; fn != nil {
+			fn(snet.Message{Src: m.Src, Size: m.Size, Payload: d.user})
+		}
+		if gr.owed >= r.wc.AckBatch {
+			r.flushAck(st, i, m.Src, gr)
+		} else if !gr.armed {
+			gr.armed = true
+			gr.timer = r.k.After(r.wc.AckDelay, func() {
+				r.flushAck(st, i, m.Src, gr)
+			})
+		}
+		return
+	}
+	// Duplicate (a go-back-N round re-covering old ground) or a gap
+	// (something ahead of a loss): both answered with the current
+	// cumulative position, immediately.
+	r.flushAck(st, i, m.Src, gr)
+}
+
+// flushAck transmits the cumulative ack for everything received in
+// order so far and accounts for how many arrivals it covered.
+func (r *Reliable) flushAck(st *snet.Station, station, peer int, gr *gbnRecv) {
+	gr.timer.Stop()
+	gr.armed = false
+	r.noteCoalesced(gr)
+	upTo := gr.expected - 1
+	r.k.Spawn("gbn-ack", func(p *sim.Proc) {
+		for st.Send(p, peer, relAckBytes, gbnAck{upTo: upTo}) != snet.Delivered {
+			p.Sleep(50 * sim.Microsecond)
+		}
+	})
+}
+
+// takePiggyback consumes a pending delayed ack owed to peer, returning
+// the cumulative position to fold into an outgoing data message, or -1
+// when nothing is owed.
+func (r *Reliable) takePiggyback(station, peer int) int {
+	if r.winRecv == nil {
+		return -1
+	}
+	gr := r.winRecv[[2]int{station, peer}]
+	if gr == nil || (!gr.armed && gr.owed == 0) {
+		return -1
+	}
+	gr.timer.Stop()
+	gr.armed = false
+	r.noteCoalesced(gr)
+	r.AcksPiggybacked++
+	if tr := r.Tracer; tr.Enabled() {
+		tr.Count("flowctl.acks.piggyback", 1)
+	}
+	return gr.expected - 1
+}
+
+// noteCoalesced charges the coalescing counters for an ack about to be
+// emitted: every owed arrival beyond the first rode along for free.
+func (r *Reliable) noteCoalesced(gr *gbnRecv) {
+	if gr.owed > 1 {
+		r.AcksCoalesced += gr.owed - 1
+		if tr := r.Tracer; tr.Enabled() {
+			tr.Count("flowctl.acks.coalesced", float64(gr.owed-1))
+		}
+	}
+	gr.owed = 0
+}

@@ -1,0 +1,231 @@
+package flowctl_test
+
+import (
+	"testing"
+
+	"hpcvorx/internal/flowctl"
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/snet"
+)
+
+// TestWindowedDeliversInOrderCoalescedAcks: on a clean network the
+// go-back-N protocol delivers everything exactly once in order with no
+// retransmissions, and the delayed cumulative acks cover runs of
+// arrivals — strictly fewer acks than messages.
+func TestWindowedDeliversInOrderCoalescedAcks(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	// A wide AckDelay makes every flush batch-triggered: one ack per
+	// AckBatch arrivals, never a timer flush covering just one.
+	rel.SetWindowConfig(flowctl.WindowConfig{Window: 4, AckBatch: 2, AckDelay: 4 * sim.Millisecond})
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 20
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+		rel.Drain(p, nw.Station(1), 0)
+	})
+	k.RunFor(sim.Seconds(2))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d", len(got), msgs)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: got[%d]=%d", i, v)
+		}
+	}
+	if rel.Retransmissions != 0 || rel.Timeouts != 0 {
+		t.Fatalf("clean network: retrans=%d timeouts=%d", rel.Retransmissions, rel.Timeouts)
+	}
+	if rel.Delivered != msgs {
+		t.Fatalf("exactly-once violated: Delivered=%d", rel.Delivered)
+	}
+	if rel.AcksCoalesced == 0 {
+		t.Fatal("cumulative acks never covered more than one arrival")
+	}
+}
+
+// TestWindowedLostCoalescedAckGoBackN is the satellite scenario: a
+// coalesced ack — one covering a whole run of seqs — is destroyed in
+// flight. A lost intermediate ack is masked by the next cumulative one
+// (that is the protocol's virtue), so the hard case is the FINAL ack
+// of the stream: with nothing after it, only the sender's window
+// timeout can recover. It must go back to the lowest unacked seq, the
+// receiver answers the duplicates with its cumulative position, and
+// the user still sees every message exactly once, in order.
+func TestWindowedLostCoalescedAckGoBackN(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	// With AckBatch 2 and a wide AckDelay, 8 messages produce exactly
+	// 4 batch-triggered cumulative acks; drop the 4th (covering seqs
+	// 6 and 7).
+	nw.SetInjector(dropNth(4, func(size int) bool { return size == ctlBytes }))
+	rel := flowctl.NewReliable(k, nw)
+	rel.SetWindowConfig(flowctl.WindowConfig{Window: 4, AckBatch: 2, AckDelay: 50 * sim.Millisecond})
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 8
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+		rel.Drain(p, nw.Station(1), 0)
+	})
+	k.RunFor(sim.Seconds(5))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d (%v)", len(got), msgs, got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: got[%d]=%d", i, v)
+		}
+	}
+	if rel.Timeouts == 0 {
+		t.Fatal("a lost cumulative ack must fire the window timeout")
+	}
+	if rel.Retransmissions == 0 {
+		t.Fatal("the timeout must go back to the lowest unacked seq")
+	}
+	if rel.Delivered != msgs {
+		t.Fatalf("exactly-once violated after go-back-N: Delivered=%d", rel.Delivered)
+	}
+	if nw.Stats().Lost != 1 {
+		t.Fatalf("injected 1 loss, network counted %d", nw.Stats().Lost)
+	}
+}
+
+// TestWindowedLostDataGoBackN: a data message in the middle of a
+// window train is dropped; everything from it on is retransmitted and
+// the receiver's immediate gap-acks keep it exactly-once.
+func TestWindowedLostDataGoBackN(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	nw.SetInjector(dropNth(3, func(size int) bool { return size > ctlBytes }))
+	rel := flowctl.NewReliable(k, nw)
+	rel.SetWindowConfig(flowctl.WindowConfig{Window: 6})
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 10
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+		rel.Drain(p, nw.Station(1), 0)
+	})
+	k.RunFor(sim.Seconds(5))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d (%v)", len(got), msgs, got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: got[%d]=%d", i, v)
+		}
+	}
+	if rel.Delivered != msgs {
+		t.Fatalf("exactly-once violated: Delivered=%d", rel.Delivered)
+	}
+}
+
+// TestWindowedPiggybackOnReverseTraffic: with data flowing both ways,
+// pending cumulative acks ride outgoing data messages instead of
+// costing their own control transfers.
+func TestWindowedPiggybackOnReverseTraffic(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	rel.SetWindowConfig(flowctl.WindowConfig{Window: 4})
+	d0, d1 := 0, 0
+	rel.SetDeliver(0, func(m snet.Message) { d0++ })
+	rel.SetDeliver(1, func(m snet.Message) { d1++ })
+	const msgs = 15
+	k.Spawn("east", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 300, i)
+		}
+		rel.Drain(p, nw.Station(1), 0)
+	})
+	k.Spawn("west", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(0), 1, 300, i)
+		}
+		rel.Drain(p, nw.Station(0), 1)
+	})
+	k.RunFor(sim.Seconds(5))
+	k.Shutdown()
+	if d0 != msgs || d1 != msgs {
+		t.Fatalf("delivered %d east / %d west, want %d each", d0, d1, msgs)
+	}
+	if rel.AcksPiggybacked == 0 {
+		t.Fatal("bidirectional traffic: some acks must ride reverse data")
+	}
+	if rel.Retransmissions != 0 {
+		t.Fatalf("clean network retransmitted %d times", rel.Retransmissions)
+	}
+}
+
+// TestWindowedCorruptDataRecovered: checksum-failed data inside the
+// window is answered with the receiver's position and resent; no
+// corruption survives into the user stream.
+func TestWindowedCorruptDataRecovered(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	nw.SetCorruptEvery(5)
+	rel := flowctl.NewReliable(k, nw)
+	rel.SetWindowConfig(flowctl.WindowConfig{Window: 4})
+	var got []int
+	rel.SetDeliver(0, func(m snet.Message) { got = append(got, m.Payload.(int)) })
+	const msgs = 16
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			rel.Send(p, nw.Station(1), 0, 400, i)
+		}
+		rel.Drain(p, nw.Station(1), 0)
+	})
+	k.RunFor(sim.Seconds(10))
+	k.Shutdown()
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d", len(got), msgs)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order or duplicated: got[%d]=%d", i, v)
+		}
+	}
+	if rel.Retransmissions == 0 {
+		t.Fatal("corruption injected but nothing was retransmitted")
+	}
+}
+
+// TestClassicUnchangedByWindowZero: SetWindowConfig with Window <= 1
+// is a no-op — the instance stays on the stop-and-wait protocol and
+// reports itself classic.
+func TestClassicUnchangedByWindowZero(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	rel.SetWindowConfig(flowctl.WindowConfig{Window: 1})
+	if rel.Windowed() {
+		t.Fatal("Window=1 must stay classic")
+	}
+	delivered := 0
+	rel.SetDeliver(0, func(m snet.Message) { delivered++ })
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if n := rel.Send(p, nw.Station(1), 0, 200, i); n != 1 {
+				t.Errorf("msg %d used %d transfers on a clean network", i, n)
+			}
+		}
+	})
+	k.RunFor(sim.Seconds(2))
+	k.Shutdown()
+	if delivered != 5 {
+		t.Fatalf("delivered %d, want 5", delivered)
+	}
+}

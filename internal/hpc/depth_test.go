@@ -1,0 +1,114 @@
+package hpc
+
+import (
+	"testing"
+
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/topo"
+)
+
+// TestOutputDepthMultiSlot: SetOutputDepth(4) turns the single-slot
+// output section into a 4-deep queue, and nothing else. With a stuck
+// receiver the fabric holds input(1) + cluster buffer(1) + output(4)
+// messages — three more than classic — and the depth-5 send is refused
+// exactly as the classic depth-2 send was: refuse-until-room
+// backpressure, just with a deeper port.
+func TestOutputDepthMultiSlot(t *testing.T) {
+	k, ic := newFabric(t, 2)
+	ic.SetOutputDepth(4)
+	var stuck []*Delivery
+	ic.SetDeliver(1, func(d *Delivery) { stuck = append(stuck, d) })
+	const capacity = 6 // input 1 + cluster 1 + output 4
+	for i := 0; i < capacity; i++ {
+		ok, err := ic.TrySend(&Message{Src: 0, Dst: 1, Size: 1000, Payload: i}, nil)
+		if !ok || err != nil {
+			t.Fatalf("send %d: ok=%v err=%v (multi-slot port should hold it)", i, ok, err)
+		}
+		k.RunFor(sim.Seconds(1))
+	}
+	ok, err := ic.TrySend(&Message{Src: 0, Dst: 1, Size: 1000}, nil)
+	if ok || err != nil {
+		t.Fatalf("fabric full at %d messages: send should be refused (ok=%v err=%v)", capacity, ok, err)
+	}
+	// Draining one input-section occupant must vacate an output slot
+	// (the train shuffles forward) and fire the room interrupt.
+	roomAt := sim.Time(-1)
+	ic.NotifyRoom(0, func() { roomAt = k.Now() })
+	var got []int
+	drain := func(d *Delivery) {
+		got = append(got, d.Msg.Payload.(int))
+		d.Release()
+	}
+	drain(stuck[0])
+	stuck = stuck[:0]
+	k.RunFor(sim.Seconds(1))
+	if roomAt < 0 {
+		t.Fatal("room-available interrupt never fired after drain")
+	}
+	// Release everything else; the whole train must arrive in FIFO
+	// order with nothing lost or duplicated.
+	ic.SetDeliver(1, func(d *Delivery) { drain(d) })
+	for _, d := range stuck {
+		drain(d)
+	}
+	k.RunFor(sim.Seconds(5))
+	if len(got) != capacity {
+		t.Fatalf("delivered %d, want %d", len(got), capacity)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO broken at %d: %v", i, got)
+		}
+	}
+	if !ic.OutputFree(0) {
+		t.Fatal("output section should be free after the drain")
+	}
+}
+
+// TestOutputDepthLeavesInputSingle: only output sections deepen —
+// input sections stay single-slot, preserving the classic receive-side
+// pacing (and the deadlock-freedom argument that rests on it).
+func TestOutputDepthLeavesInputSingle(t *testing.T) {
+	k, ic := newFabric(t, 2)
+	ic.SetOutputDepth(8)
+	held := 0
+	ic.SetDeliver(1, func(d *Delivery) { held++ }) // never releases
+	for i := 0; i < 3; i++ {
+		ic.TrySend(&Message{Src: 0, Dst: 1, Size: 100}, nil)
+		k.RunFor(sim.Seconds(1))
+	}
+	if held != 1 {
+		t.Fatalf("input section admitted %d unreleased deliveries, want 1", held)
+	}
+}
+
+// TestOutputDepthManyToOneFairness: deep output ports must not starve
+// anyone — every sender into one sink is still serviced completely.
+func TestOutputDepthManyToOneFairness(t *testing.T) {
+	k, ic := newFabric(t, 12)
+	ic.SetOutputDepth(4)
+	const perSender = 20
+	received := map[topo.EndpointID]int{}
+	ic.SetDeliver(0, func(d *Delivery) {
+		received[d.Msg.Src]++
+		d.Release()
+	})
+	for s := 1; s < 12; s++ {
+		s := s
+		k.Spawn("sender", func(p *sim.Proc) {
+			for i := 0; i < perSender; i++ {
+				if err := ic.Send(p, &Message{Src: topo.EndpointID(s), Dst: 0, Size: 1000}, nil); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s < 12; s++ {
+		if received[topo.EndpointID(s)] != perSender {
+			t.Fatalf("sender %d delivered %d of %d", s, received[topo.EndpointID(s)], perSender)
+		}
+	}
+}

@@ -351,7 +351,24 @@ func (ic *Interconnect) rerouteFrom(t *transfer, at topo.ClusterID) bool {
 
 // OutputFree reports whether endpoint e's output section has room.
 func (ic *Interconnect) OutputFree(e topo.EndpointID) bool {
-	return ic.outSec[e].occupant == nil
+	return !ic.outSec[e].full()
+}
+
+// SetOutputDepth deepens every endpoint's output section to k message
+// slots (the pipelined profile's multi-slot port). k <= 1 restores the
+// classic single-slot behaviour. Backpressure is unchanged in kind:
+// TrySend still refuses when the section is full, and room-available
+// interrupts still fire only when a slot frees. Only output sections
+// are deepened; the fabric's cluster buffers and input sections keep
+// their single slot, so link arbitration and deadlock-freedom are
+// exactly the classic argument.
+func (ic *Interconnect) SetOutputDepth(k int) {
+	if k < 1 {
+		k = 1
+	}
+	for _, b := range ic.outSec {
+		b.depth = int32(k)
+	}
 }
 
 // NotifyRoom registers a one-shot callback invoked when endpoint e's
@@ -378,7 +395,7 @@ func (ic *Interconnect) TrySend(msg *Message, onDelivered func(*Message)) (bool,
 		return false, fmt.Errorf("hpc: negative message size")
 	}
 	out := ic.outSec[msg.Src]
-	if out.occupant != nil {
+	if out.full() {
 		return false, nil
 	}
 	t := ic.newTransfer()
@@ -392,7 +409,7 @@ func (ic *Interconnect) TrySend(msg *Message, onDelivered func(*Message)) (bool,
 	}
 	t.msg = msg
 	t.onDelivered = onDelivered
-	out.occupant = t
+	out.occ++
 	t.holder = out
 	ic.stats.MessagesSent++
 	if ic.tracer.Enabled() {
@@ -432,7 +449,7 @@ func (ic *Interconnect) SendMulticast(p *sim.Proc, src topo.EndpointID, dsts []t
 		return fmt.Errorf("hpc: multicast with no destinations")
 	}
 	out := ic.outSec[src]
-	for out.occupant != nil {
+	for out.full() {
 		wake := p.Park("hpc-output-mc")
 		ic.NotifyRoom(src, wake)
 		p.Block()
@@ -449,7 +466,7 @@ func (ic *Interconnect) SendMulticast(p *sim.Proc, src topo.EndpointID, dsts []t
 			mt.fanOut(tr)
 		},
 	}
-	out.occupant = t
+	out.occ++
 	t.holder = out
 	up.request(t)
 	return nil
@@ -490,7 +507,7 @@ func (m *mcastRoot) fanOut(root *transfer) {
 		bt.onLeftFirstBuffer = func() {
 			m.pending--
 			if m.pending == 0 {
-				m.rootBuf.occupant = nil
+				m.rootBuf.occ--
 				m.rootLink.tryStart()
 			}
 		}
@@ -569,14 +586,28 @@ func (ic *Interconnect) routeLinksInto(t *transfer, src, dst topo.EndpointID) er
 	return nil
 }
 
-// buffer is a one-message hardware buffer.
+// buffer is a hardware buffer holding whole messages. Historically
+// every buffer held exactly one message; output sections may be
+// deepened to K slots (SetOutputDepth) so a port can accept a fragment
+// train while the previous fragment drains. occ counts resident or
+// reserved messages; depth 0 means the classic single slot.
 type buffer struct {
-	name     string
-	occupant *transfer
+	name  string
+	occ   int32
+	depth int32
 	// outEP is endpoint+1 when this buffer is an endpoint's output
 	// section (so freed() finds the room-interrupt list in O(1)), else 0.
 	outEP int32
 }
+
+func (b *buffer) cap() int32 {
+	if b.depth > 0 {
+		return b.depth
+	}
+	return 1
+}
+
+func (b *buffer) full() bool { return b.occ >= b.cap() }
 
 // transfer is one message making its way along a link path.
 //
@@ -614,7 +645,7 @@ func newBoundTransfer(ic *Interconnect) *transfer {
 	t.completeFn = func() { t.curLink.complete(t) }
 	t.releaseFn = func() {
 		l := t.lastLink
-		l.into.occupant = nil
+		l.into.occ--
 		t.released = true
 		t.maybeRecycle()
 		l.tryStart()
@@ -704,7 +735,7 @@ func (l *link) stallReason() string {
 		return "link-down"
 	case l.busy:
 		return "link-busy"
-	case l.into.occupant != nil:
+	case l.into.full():
 		return "buffer-full"
 	default:
 		return "queued"
@@ -714,7 +745,7 @@ func (l *link) stallReason() string {
 // tryStart begins the next queued transmission if the link is up and
 // idle and the downstream buffer is free.
 func (l *link) tryStart() {
-	if l.busy || l.down || l.into.occupant != nil || len(l.waitQ) == 0 {
+	if l.busy || l.down || l.into.full() || len(l.waitQ) == 0 {
 		return
 	}
 	t := l.waitQ[0]
@@ -724,7 +755,7 @@ func (l *link) tryStart() {
 	l.waitQ[len(l.waitQ)-1] = nil
 	l.waitQ = l.waitQ[:len(l.waitQ)-1]
 	l.busy = true
-	l.into.occupant = t // reserve: "room for an entire message"
+	l.into.occ++ // reserve: "room for an entire message"
 	l.lastStart = l.ic.k.Now()
 	if tr := l.ic.tracer; tr.Enabled() {
 		tr.Emit(trace.KAcquire, t.msg.Trace, "fabric", l.name, msgDetail(t.msg))
@@ -759,7 +790,7 @@ func (l *link) complete(t *transfer) {
 	// Free the upstream buffer the message just vacated.
 	if t.holder != nil {
 		prev := t.holder
-		prev.occupant = nil
+		prev.occ--
 		l.ic.freed(prev, t.pos, t)
 	} else if t.onLeftFirstBuffer != nil {
 		t.onLeftFirstBuffer()
@@ -789,7 +820,7 @@ func (l *link) complete(t *transfer) {
 		tt := t
 		t.releaseFn = func() {
 			ll := tt.lastLink
-			ll.into.occupant = nil
+			ll.into.occ--
 			tt.released = true
 			tt.maybeRecycle()
 			ll.tryStart()

@@ -36,6 +36,12 @@ type Service struct {
 	// message (excluding the fixed interrupt entry, which netif adds).
 	// Ignored when NoInterrupt is set.
 	Cost func(m *hpc.Message) sim.Duration
+	// BatchCost, when non-nil, is the cost of absorbing the message as
+	// a non-first member of a coalesced interrupt batch: the protocol
+	// entry work is done once per batch, so riders pay only their
+	// per-message copy. Nil falls back to Cost. Unused unless
+	// coalescing is enabled.
+	BatchCost func(m *hpc.Message) sim.Duration
 	// Handle runs at interrupt level after Cost has elapsed. It must
 	// not block; wake a subprocess for long work.
 	Handle func(m *hpc.Message)
@@ -63,6 +69,21 @@ type IF struct {
 	// node crashes, so a dead node never wedges the interconnect.
 	pending []*hpc.Delivery
 
+	// Receive-interrupt coalescing (the pipelined profile): deliveries
+	// landing at the same virtual instant — or within coalesceHorizon of
+	// the first — are drained by one interrupt, charged a single
+	// interrupt-entry cost plus every message's per-copy cost.
+	coalesce        bool
+	coalesceHorizon sim.Duration
+	batch           []batchEntry
+	batchArmed      bool
+	batchPending    bool
+	batchTimer      sim.Timer
+
+	// CoalescedIntr counts deliveries that rode an already-armed batch
+	// interrupt instead of raising their own.
+	CoalescedIntr int
+
 	// Dropped counts messages that arrived for an unregistered
 	// service (a programming error in the simulated application).
 	Dropped int
@@ -88,6 +109,16 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			ic.FreeMessage(msg)
 		}
 		f.pending = nil
+		// Batched messages were already read out of the hardware; the
+		// crash discards them before their drain interrupt ran.
+		for _, e := range f.batch {
+			f.DroppedDead++
+			ic.FreeMessage(e.msg)
+		}
+		f.batch = nil
+		f.batchArmed = false
+		f.batchPending = false
+		f.batchTimer.Stop()
 	})
 	ic.SetDeliver(ep, func(d *hpc.Delivery) {
 		if node.Crashed() {
@@ -126,6 +157,21 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			return
 		}
 		msg := d.Msg
+		if f.coalesce {
+			// The driver reads the message out of the input section
+			// immediately (freeing the hardware so the next fragment of
+			// a train can land) and queues it for one batch interrupt.
+			// While a drain is already queued or running the arrival
+			// simply joins the accumulating batch — the drain chains
+			// into it when it finishes, with no horizon wait.
+			d.Release()
+			f.batch = append(f.batch, batchEntry{msg: msg, svc: svc})
+			if !f.batchArmed && !f.batchPending {
+				f.batchArmed = true
+				f.batchTimer = node.Kernel().After(f.coalesceHorizon, f.fireBatch)
+			}
+			return
+		}
 		f.pending = append(f.pending, d)
 		node.Interrupt(svc.Cost(msg), func() {
 			f.unpend(d)
@@ -138,6 +184,62 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 		})
 	})
 	return f
+}
+
+// batchEntry is one read-out message awaiting a coalesced drain.
+type batchEntry struct {
+	msg *hpc.Message
+	svc Service
+}
+
+// SetCoalesce enables receive-interrupt coalescing: deliveries that
+// land while a batch interrupt is armed join it instead of raising
+// their own. horizon is how long the first delivery of a batch waits
+// for company; 0 coalesces only back-to-back deliveries at the same
+// virtual instant. The batch is charged one interrupt entry plus each
+// message's per-copy service cost, and messages are handled in arrival
+// order — FIFO is preserved.
+func (f *IF) SetCoalesce(horizon sim.Duration) {
+	f.coalesce = true
+	f.coalesceHorizon = horizon
+}
+
+// fireBatch raises the single interrupt that drains the armed batch.
+func (f *IF) fireBatch() {
+	f.batchArmed = false
+	entries := f.batch
+	f.batch = nil
+	if len(entries) == 0 || f.node.Crashed() {
+		return
+	}
+	if n := len(entries) - 1; n > 0 {
+		f.CoalescedIntr += n
+		f.node.Tracer().Count("netif.intr.coalesced", float64(n))
+	}
+	// First message pays the full ISR service cost (the protocol entry
+	// work runs once per batch); riders pay only their per-message copy.
+	cost := entries[0].svc.Cost(entries[0].msg)
+	for _, e := range entries[1:] {
+		if e.svc.BatchCost != nil {
+			cost += e.svc.BatchCost(e.msg)
+		} else {
+			cost += e.svc.Cost(e.msg)
+		}
+	}
+	f.batchPending = true
+	f.node.Interrupt(cost, func() {
+		for _, e := range entries {
+			e.svc.Handle(e.msg)
+			f.ic.FreeMessage(e.msg)
+		}
+		f.batchPending = false
+		// Arrivals that landed while this drain was queued or running
+		// chain straight into the next one, like an ISR re-scanning the
+		// ring before returning.
+		if len(f.batch) > 0 {
+			f.fireBatch()
+		}
+	})
 }
 
 // unpend forgets a delivery that has been read out of the hardware.

@@ -168,6 +168,13 @@ func (k *Kernel) Running() *Proc { return k.running }
 // Alive reports the number of spawned processes that have not finished.
 func (k *Kernel) Alive() int { return k.alive }
 
+// Scheduled returns how many events have been scheduled over the
+// kernel's lifetime (including later-canceled ones). It is the
+// host-side work proxy behind events-per-message efficiency metrics:
+// fewer scheduled events for the same delivered traffic means a
+// cheaper simulation.
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
 // Stop makes Run return after the current event completes. Pending
 // events remain queued; a subsequent Run resumes them.
 func (k *Kernel) Stop() { k.stopped = true }

@@ -77,6 +77,8 @@ const (
 	KProc // proc lifecycle (spawn, done)
 	// Profiler (internal/profiler).
 	KPhase // one profiled program phase (span)
+	// Pipelined fast path (PR 5).
+	KWindow // sliding-window credit consumed / advanced
 	numKinds
 )
 
@@ -91,14 +93,15 @@ var kindNames = [numKinds]string{
 	KFlow:    "flow",
 	KAccount: "acct", KCrash: "crash", KRestart: "restart",
 	KHeartbeat: "heartbeat", KCheckpoint: "checkpoint", KSuper: "super",
-	KProc:  "proc",
-	KPhase: "phase",
+	KProc:   "proc",
+	KPhase:  "phase",
+	KWindow: "window",
 }
 
 var kindCats = [numKinds]string{
 	KWrite: "chan", KFragment: "chan", KChanDel: "chan", KAck: "chan",
 	KBusy: "chan", KResume: "chan", KRetransmit: "chan", KRead: "chan",
-	KClose: "chan",
+	KClose:   "chan",
 	KEnqueue: "hpc", KBlocked: "hpc", KAcquire: "hpc", KHop: "hpc",
 	KDeliver: "hpc",
 	KService: "netif",
@@ -106,8 +109,9 @@ var kindCats = [numKinds]string{
 	KFlow:    "flowctl",
 	KAccount: "kern", KCrash: "kern", KRestart: "kern",
 	KHeartbeat: "super", KCheckpoint: "super", KSuper: "super",
-	KProc:  "sim",
-	KPhase: "prof",
+	KProc:   "sim",
+	KPhase:  "prof",
+	KWindow: "chan",
 }
 
 // String returns the kind's stable wire name.

@@ -1,0 +1,117 @@
+package vorxbench
+
+import (
+	"fmt"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/spice"
+	"hpcvorx/internal/workload"
+)
+
+// E15Pipelined evaluates the pipelined communication fast path against
+// the classic stop-and-wait stack: a virtual-time sweep over window
+// size × output buffer depth × interrupt-coalesce horizon for a
+// large-write stream (the paper's retrospective lesson that the system
+// got fast by evolving its protocols), plus the SPICE fine-grain
+// boundary-exchange workload under both profiles with the UDO
+// transport as the paper's 60 µs reference point.
+func E15Pipelined() *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Pipelined fast path: window x depth x coalesce (virtual time)",
+		Header: []string{"workload", "window", "depth", "coalesce", "result", "speedup"},
+	}
+
+	// Large-write stream: 64 writes of 8 KB (8 fragments each) down one
+	// channel. Classic stop-and-waits a full kernel round-trip per
+	// write; the window keeps fragment trains on the wire.
+	const size, msgs = 8192, 64
+	stream := func(cp core.CommProfile) sim.Duration {
+		sys, err := core.Build(core.Config{Nodes: 2, Seed: 1, Comm: cp})
+		if err != nil {
+			panic(err)
+		}
+		return workload.Stream(sys, size, msgs)
+	}
+	type cfg struct {
+		coalesce string
+		cp       core.CommProfile
+	}
+	cases := []cfg{
+		{"off", core.Classic()},
+		{"off", core.CommProfile{Window: 2}},
+		{"off", core.CommProfile{Window: 4}},
+		{"off", core.CommProfile{Window: 8}},
+		{"off", core.CommProfile{Window: 8, OutputDepth: 2}},
+		{"off", core.CommProfile{Window: 8, OutputDepth: 4}},
+		{"0", core.Pipelined()},
+		{"200µs", core.CommProfile{Window: 8, OutputDepth: 4, Coalesce: true, CoalesceHorizon: 200 * sim.Microsecond}},
+		{"500µs", core.CommProfile{Window: 8, OutputDepth: 4, Coalesce: true, CoalesceHorizon: 500 * sim.Microsecond}},
+	}
+	var base float64
+	for _, c := range cases {
+		el := stream(c.cp)
+		mbps := float64(size*msgs) / el.Seconds() / 1e6
+		perMsg := el.Microseconds() / msgs
+		if base == 0 {
+			base = el.Seconds()
+		}
+		t.AddRow(
+			fmt.Sprintf("stream %dx%dB", msgs, size),
+			fmt.Sprintf("%d", max(c.cp.Window, 1)),
+			fmt.Sprintf("%d", max(c.cp.OutputDepth, 1)),
+			c.coalesce,
+			fmt.Sprintf("%.2f MB/s (%.0f µs/msg)", mbps, perMsg),
+			fmt.Sprintf("%.2fx", base/el.Seconds()),
+		)
+	}
+
+	// SPICE fine-grain: 4 procs exchanging tiny boundary messages every
+	// Jacobi iteration — the workload whose per-message software
+	// overhead drove the paper to UDOs.
+	const gridN, procs, iters = 16, 4, 12
+	solve := func(cp core.CommProfile, tr spice.Transport) sim.Duration {
+		sys, err := core.Build(core.Config{Nodes: procs, Seed: 1, Comm: cp})
+		if err != nil {
+			panic(err)
+		}
+		g := spice.NewGrid(gridN)
+		res, _, err := spice.Solve(sys, g, procs, iters, tr)
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed
+	}
+	spiceRow := func(label string, cp core.CommProfile, tr spice.Transport, base sim.Duration) sim.Duration {
+		el := solve(cp, tr)
+		if base == 0 {
+			base = el
+		}
+		t.AddRow(
+			fmt.Sprintf("spice %s", label),
+			fmt.Sprintf("%d", max(cp.Window, 1)),
+			fmt.Sprintf("%d", max(cp.OutputDepth, 1)),
+			coalesceLabel(cp),
+			fmt.Sprintf("%.2f ms solve", el.Milliseconds()),
+			fmt.Sprintf("%.2fx", base.Seconds()/el.Seconds()),
+		)
+		return base
+	}
+	spiceBase := spiceRow("chan classic", core.Classic(), spice.Channels, 0)
+	spiceRow("chan pipelined", core.Pipelined(), spice.Channels, spiceBase)
+	spiceRow("udo classic", core.Classic(), spice.UDO, spiceBase)
+	t.Note("stream speedups are vs the classic stop-and-wait row; spice speedups vs chan classic")
+	return t
+}
+
+// coalesceLabel renders a profile's interrupt-coalescing setting.
+func coalesceLabel(cp core.CommProfile) string {
+	if !cp.Coalesce {
+		return "off"
+	}
+	if cp.CoalesceHorizon == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%dµs", int(cp.CoalesceHorizon.Microseconds()))
+}

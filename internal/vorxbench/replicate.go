@@ -20,10 +20,18 @@ import (
 // which worker finished first.
 
 // Workers resolves a worker-count request: n < 1 means one worker per
-// available CPU.
+// available CPU. Requests are clamped to the machine's CPU count —
+// share-nothing simulation workers are pure compute, so oversubscribing
+// cores only adds scheduling overhead (BENCH_pr4.json measured the
+// pool costing 14% on a 1-CPU builder; the callers' serial path makes
+// an effective worker count of 1 free).
 func Workers(n int) int {
-	if n < 1 {
-		return runtime.GOMAXPROCS(0)
+	cpus := runtime.NumCPU()
+	if g := runtime.GOMAXPROCS(0); g < cpus {
+		cpus = g
+	}
+	if n < 1 || n > cpus {
+		return cpus
 	}
 	return n
 }

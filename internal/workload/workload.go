@@ -100,6 +100,43 @@ func OpenStorm(sys *core.System, opensPerPair int) OpenStormResult {
 	return res
 }
 
+// Stream has node 0 write `msgs` messages of `size` bytes to node 1
+// over a single channel while node 1 reads them as fast as it can;
+// returns the virtual makespan from the first write starting to the
+// last read completing. Sizes above the hardware fragment limit
+// exercise kernel fragmentation; with a write window above 1 the
+// fragment trains of successive writes pipeline through the fabric
+// instead of stop-and-waiting per message.
+func Stream(sys *core.System, size, msgs int) sim.Duration {
+	nodes := sys.Nodes()
+	if len(nodes) < 2 {
+		panic("wl: stream needs at least 2 nodes")
+	}
+	var start, end sim.Time
+	sys.Spawn(nodes[1], "stream-sink", 0, func(sp *kern.Subprocess) {
+		ch := nodes[1].Chans.Open(sp, "stream", objmgr.OpenAny)
+		for n := 0; n < msgs; n++ {
+			if _, ok := ch.Read(sp); !ok {
+				panic("wl: stream read failed")
+			}
+		}
+		end = sp.Now()
+	})
+	sys.Spawn(nodes[0], "stream-src", 0, func(sp *kern.Subprocess) {
+		ch := nodes[0].Chans.Open(sp, "stream", objmgr.OpenAny)
+		start = sp.Now()
+		for m := 0; m < msgs; m++ {
+			if err := ch.Write(sp, size, nil); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	return end.Sub(start)
+}
+
 // ManyToOne has every node except the first write `msgs` messages of
 // `size` bytes to node 0 over channels; returns the makespan.
 func ManyToOne(sys *core.System, size, msgs int) sim.Duration {
