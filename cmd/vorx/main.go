@@ -28,6 +28,7 @@ import (
 	"hpcvorx/internal/stub"
 	"hpcvorx/internal/super"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/verify"
 	"hpcvorx/internal/vorxbench"
 	"hpcvorx/internal/workload"
 )
@@ -45,7 +46,10 @@ commands:
   trace     run a demo with unified tracing on; emit Chrome JSON,
             a flight-recorder dump, and the metrics table
   chaos     replay a fault schedule and print the recovery report
+            (-verify attaches the invariant checker; -sweep N replays
+            N seeded partition/gray/crash schedules through it)
   heal      crash a supervised node and watch checkpoint/restart heal it
+            (-fence enables partition-tolerant quorum + fencing)
   bench     measure simulator performance; -json writes BENCH_<rev>.json
 `)
 	os.Exit(2)
@@ -321,8 +325,20 @@ func runChaos(args []string, tc *traceCtx) {
 	msgs := fs.Int("msgs", 24, "messages per channel pair")
 	schedFile := fs.String("schedule", "", "fault schedule file (default: built-in demo)")
 	detect := fs.String("detect", "", "oracle crash-detection delay, e.g. 500us (default 2ms)")
+	doVerify := fs.Bool("verify", false, "attach the invariant checker; exit 1 on any violation")
+	sweepN := fs.Int("sweep", 0, "run N seeded schedules (partitions, grays, crashes) through the checker")
+	retries := fs.Int("retries", 3, "channel write retry budget; 0 retries forever (lets writers survive a partition)")
 	comm := commFlag(fs)
 	fs.Parse(args)
+
+	if *sweepN > 0 {
+		sw := vorxbench.RunChaosSweep(*seed, *sweepN)
+		sw.Format(os.Stdout)
+		if sw.Violations > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	text := demoSchedule
 	if *schedFile != "" {
@@ -345,12 +361,17 @@ func runChaos(args []string, tc *traceCtx) {
 		os.Exit(1)
 	}
 	tc.arm(sys)
+	var chk *verify.Checker
+	if *doVerify {
+		chk = verify.Attach(sys)
+	}
 	res := resmgr.NewVORX(sys.K, *nodes)
 	if _, err := res.Allocate("alice", *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
 		os.Exit(1)
 	}
 	eng := fault.New(sys.K, *seed)
+	eng.MaxRetries = *retries
 	eng.Bind(sys)
 	eng.BindResmgr(res)
 	if *detect != "" {
@@ -445,6 +466,13 @@ func runChaos(args []string, tc *traceCtx) {
 	}
 	fmt.Println()
 	fmt.Printf("  virtual time at quiesce: %v\n", sys.K.Now())
+	if chk != nil {
+		fmt.Println()
+		chk.Report(os.Stdout)
+		if !chk.Ok() {
+			os.Exit(1)
+		}
+	}
 	tc.finish(sys)
 }
 
@@ -458,6 +486,7 @@ func runHeal(args []string, tc *traceCtx) {
 	confirm := fs.String("confirm", "2ms", "heartbeat silence before death is confirmed")
 	ckpt := fs.String("ckpt", "1ms", "checkpoint interval")
 	horizon := fs.String("horizon", "80ms", "supervision horizon (beacons stop here)")
+	fence := fs.Bool("fence", false, "partition-tolerant supervision: quorum-gated confirms plus incarnation fencing")
 	comm := commFlag(fs)
 	fs.Parse(args)
 	if *pairs < 1 || *nodes < 2*(*pairs)+1 {
@@ -489,6 +518,7 @@ func runHeal(args []string, tc *traceCtx) {
 		HeartbeatEvery:  durs["hb"],
 		ConfirmAfter:    durs["confirm"],
 		CheckpointEvery: durs["ckpt"],
+		Fence:           *fence,
 	}
 	sup := super.New(sys, sys.Host(0), res, cfg)
 

@@ -101,7 +101,43 @@ type Service struct {
 	// exhaustion or PeerDown.
 	TimeoutRetransmits int
 	PeerDeaths         int
+
+	// verifier, when non-nil, observes every protocol step the chaos
+	// harness's invariants need. Nil costs one predicate per step.
+	verifier Verifier
 }
+
+// Verifier observes channel protocol steps; the invariant checker
+// (internal/verify) implements it. All hooks run at the simulation
+// layer and must not block or schedule events.
+type Verifier interface {
+	// ChanWrite fires when a write enters the pending window on the
+	// sending end.
+	ChanWrite(id uint64, name string, from topo.EndpointID, inc uint32, seq, size int, payload any)
+	// ChanDeliver fires when a last fragment reaches the receiving
+	// end's sequencer: dup marks a duplicate that was re-acked, not
+	// re-delivered. from/inc are the fabric's provenance stamp.
+	ChanDeliver(id uint64, name string, from topo.EndpointID, inc uint32, seq int, payload any, dup bool)
+	// ChanAck fires when an ack matches a pending write on the sending
+	// end at endpoint at.
+	ChanAck(id uint64, at topo.EndpointID, seq int)
+	// ChanRetain fires when an acknowledged write is retained at
+	// endpoint at for possible replay.
+	ChanRetain(id uint64, at topo.EndpointID, seq int)
+	// ChanRelease fires when a retained write leaves the retained
+	// list: requeued means it went back to pending for a rebind
+	// replay, otherwise the stable mark released it.
+	ChanRelease(id uint64, at topo.EndpointID, seq int, requeued bool)
+	// ChanReincarnate fires when a channel end is reinstalled at
+	// endpoint at (facing peer) from a checkpoint with the given
+	// sequence cursors: deliveries from peer legitimately resume at
+	// recvSeq, re-covering anything the checkpoint did not fold in.
+	ChanReincarnate(id uint64, at, peer topo.EndpointID, sendSeq, recvSeq int)
+}
+
+// SetVerifier installs the invariant checker's protocol observer (nil
+// to remove).
+func (s *Service) SetVerifier(v Verifier) { s.verifier = v }
 
 // wire message bodies
 type dataFrag struct {
@@ -113,6 +149,12 @@ type dataFrag struct {
 	payload    any // carried on the last fragment
 	retransmit bool
 	tid        uint64 // originating write's trace ID (0 untraced)
+	// src and inc are filled by the *receiver* from the fabric
+	// message's source endpoint and incarnation stamp (netif stamps
+	// every send), so held and replayed fragments keep their
+	// provenance for the invariant checker.
+	src topo.EndpointID
+	inc uint32
 }
 
 type ackMsg struct {
@@ -430,11 +472,23 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 			tr.GaugeSet("channels.window.inflight", float64(len(ch.pending)))
 		}
 	}
+	if v := ch.svc.verifier; v != nil {
+		v.ChanWrite(ch.id, ch.name, ch.svc.f.Endpoint(), ch.svc.f.Node().Incarnation(),
+			om.seq, size, payload)
+	}
 	if err := ch.sendFragments(sp, om, false); err != nil {
-		ch.dropPending(om)
-		name := ch.name
-		ch.svc.putOut(om) // timer never armed, no list reaches it
-		return fmt.Errorf("channels: write on %q: %w", name, err)
+		retryForever := ch.svc.ackTimeout > 0 && ch.svc.maxRetries <= 0
+		if !ch.managed && !retryForever {
+			ch.dropPending(om)
+			name := ch.name
+			ch.svc.putOut(om) // timer never armed, no list reaches it
+			return fmt.Errorf("channels: write on %q: %w", name, err)
+		}
+		// Managed end (or an end configured to retry forever),
+		// destination unreachable: that may be a transient partition,
+		// and the supervisor — not this end — owns the death verdict.
+		// Keep the write pending; the end-to-end timer retransmits it
+		// until the fabric heals or the end is rebound.
 	}
 	ch.svc.armTimer(ch, om)
 	for len(ch.pending) >= ch.window && !ch.closedRemote {
@@ -489,13 +543,23 @@ func (ch *Channel) dropPending(om *outMsg) {
 	}
 }
 
-// armTimer (re)starts om's end-to-end ack timeout, if enabled.
+// armTimer (re)starts om's end-to-end ack timeout, if enabled. The
+// timer is pinned to the node's current incarnation: a crash wipes the
+// machine's memory, so if the node reboots before the timer fires, the
+// pending write it guards no longer exists and must not retransmit
+// under the new incarnation's stamp.
 func (s *Service) armTimer(ch *Channel, om *outMsg) {
 	if s.ackTimeout <= 0 {
 		return
 	}
 	om.timer.Stop()
-	om.timer = s.f.Node().Kernel().After(s.ackTimeout, func() { s.timeoutFire(ch, om) })
+	inc := s.f.Node().Incarnation()
+	om.timer = s.f.Node().Kernel().After(s.ackTimeout, func() {
+		if s.f.Node().Incarnation() != inc {
+			return // armed by a previous incarnation; its state died with it
+		}
+		s.timeoutFire(ch, om)
+	})
 }
 
 // timeoutFire handles an expired ack timeout: retransmit the write, or
@@ -625,6 +689,11 @@ func (s *Service) Rebind(id uint64, newPeer topo.EndpointID, resumeFrom int) boo
 	// as far as the reincarnated peer is concerned, and pending is what
 	// the busy/resume and timeout machinery knows how to re-send.
 	if len(ch.retained) > 0 {
+		if v := s.verifier; v != nil {
+			for _, om := range ch.retained {
+				v.ChanRelease(ch.id, s.f.Endpoint(), om.seq, true)
+			}
+		}
 		ch.pending = append(ch.retained, ch.pending...)
 		ch.retained = nil
 	}
@@ -660,6 +729,9 @@ func (s *Service) Reincarnate(id uint64, name string, peer topo.EndpointID, send
 	ch := &Channel{svc: s, id: id, name: name, peer: peer, window: s.defaultWindow(),
 		sendSeq: sendSeq, recvSeq: recvSeq, managed: true}
 	s.chans[id] = ch
+	if v := s.verifier; v != nil {
+		v.ChanReincarnate(id, s.f.Endpoint(), peer, sendSeq, recvSeq)
+	}
 	if frags := s.preopen[id]; len(frags) > 0 {
 		// The peer's rebind replay raced ahead of the reincarnation;
 		// deliver the held fragments in arrival order.
@@ -686,6 +758,9 @@ func (s *Service) releaseRetained(ch *Channel, stable int) {
 		if om.seq >= stable {
 			keep = append(keep, om)
 		} else {
+			if v := s.verifier; v != nil {
+				v.ChanRelease(ch.id, s.f.Endpoint(), om.seq, false)
+			}
 			s.putOut(om) // acked and checkpoint-stable: fully dead
 		}
 	}
@@ -795,6 +870,7 @@ func (s *Service) handleData(m *hpc.Message) {
 	fr := m.Payload.(netif.Envelope).Body.(*dataFrag)
 	frag := *fr
 	putFrag(fr)
+	frag.src, frag.inc = m.Src, m.Inc
 	ch := s.chans[frag.ch]
 	if ch == nil {
 		// The local Open has not finished registering; hold the
@@ -822,6 +898,9 @@ func (s *Service) deliverFrag(ch *Channel, frag dataFrag) {
 
 	if frag.seq < ch.recvSeq {
 		// Duplicate of an already-accepted message: re-acknowledge.
+		if v := s.verifier; v != nil {
+			v.ChanDeliver(ch.id, ch.name, frag.src, frag.inc, frag.seq, frag.payload, true)
+		}
 		s.ack(ch, frag.seq, frag.tid)
 		return
 	}
@@ -865,6 +944,9 @@ func (s *Service) deliverFrag(ch *Channel, frag dataFrag) {
 func (s *Service) accept(ch *Channel, frag dataFrag, how string) {
 	s.Delivered++
 	ch.recvSeq++
+	if v := s.verifier; v != nil {
+		v.ChanDeliver(ch.id, ch.name, frag.src, frag.inc, frag.seq, frag.payload, false)
+	}
 	if tr := s.tracer(); tr.Enabled() {
 		tr.Emit(trace.KChanDel, frag.tid, s.f.Node().Name(), ch.lane(),
 			fmt.Sprintf("seq=%d %dB %s", frag.seq, frag.total, how))
@@ -917,6 +999,9 @@ func (s *Service) handleAck(m *hpc.Message) {
 		if om.seq == a.seq {
 			om.timer.Stop()
 			ch.pending = append(ch.pending[:i:i], ch.pending[i+1:]...)
+			if v := s.verifier; v != nil {
+				v.ChanAck(ch.id, s.f.Endpoint(), a.seq)
+			}
 			s.tracer().Emit(trace.KAck, om.tid, s.f.Node().Name(), ch.lane(),
 				fmt.Sprintf("seq=%d", a.seq))
 			if ch.window > 1 {
@@ -932,6 +1017,9 @@ func (s *Service) handleAck(m *hpc.Message) {
 				// the peer's kernel delivered it, not that the peer's
 				// checkpoint captured it.
 				ch.retained = append(ch.retained, om)
+				if v := s.verifier; v != nil {
+					v.ChanRetain(ch.id, s.f.Endpoint(), om.seq)
+				}
 			} else {
 				// Timer stopped, off every list: recycle the record.
 				s.putOut(om)

@@ -20,9 +20,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"hpcvorx/internal/core"
 	"hpcvorx/internal/dfs"
+	"hpcvorx/internal/hpc"
 	"hpcvorx/internal/resmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/snet"
@@ -68,6 +71,12 @@ type Engine struct {
 	AckTimeout sim.Duration
 	MaxRetries int
 
+	seed int64
+	// partCut remembers which cube links the active partition cut (and
+	// only those: links that were already down stay down across a
+	// heal).
+	partCut [][2]topo.ClusterID
+
 	recs []Record
 }
 
@@ -77,6 +86,7 @@ func New(k *sim.Kernel, seed int64) *Engine {
 	return &Engine{
 		k:           k,
 		rng:         rand.New(rand.NewSource(seed)),
+		seed:        seed,
 		DetectDelay: 2 * sim.Millisecond,
 		AckTimeout:  5 * sim.Millisecond,
 		MaxRetries:  3,
@@ -183,6 +193,143 @@ func (e *Engine) DFSUpAt(at sim.Duration, host int) {
 	e.k.At(sim.Time(at), func() {
 		e.fs.SetDown(host, false)
 		e.record("dfs-up", "host %d", host)
+	})
+}
+
+// PartitionAt cuts the cube topology into disjoint reachability groups
+// at time at: every cube link whose two clusters land in different
+// groups goes down in one atomic step. Clusters not listed in any
+// group form an implicit final group. Links that were already down are
+// left alone (they belong to whoever failed them), so a later HealAt
+// restores exactly the partition's own cut-set and nothing else.
+func (e *Engine) PartitionAt(at sim.Duration, groups [][]topo.ClusterID) {
+	e.k.At(sim.Time(at), func() { e.partition(groups) })
+}
+
+func (e *Engine) partition(groups [][]topo.ClusterID) {
+	tp := e.sys.Topo
+	groupOf := make(map[topo.ClusterID]int, tp.Clusters())
+	for gi, g := range groups {
+		for _, c := range g {
+			groupOf[c] = gi
+		}
+	}
+	rest := len(groups)
+	for c := 0; c < tp.Clusters(); c++ {
+		if _, ok := groupOf[topo.ClusterID(c)]; !ok {
+			groupOf[topo.ClusterID(c)] = rest
+		}
+	}
+	cut := 0
+	for c := 0; c < tp.Clusters(); c++ {
+		a := topo.ClusterID(c)
+		for _, b := range tp.Neighbors(a) {
+			if b <= a || groupOf[a] == groupOf[b] {
+				continue
+			}
+			if e.sys.IC.CubeLinkDown(a, b) {
+				continue // already down: not this partition's to heal
+			}
+			e.sys.IC.SetCubeLinkDown(a, b, true)
+			e.partCut = append(e.partCut, [2]topo.ClusterID{a, b})
+			cut++
+		}
+	}
+	e.record("partition", "%s: %d links cut", groupsDesc(groups), cut)
+}
+
+// HealAt merges the partition back at time at: every link the
+// partition cut comes up again in one atomic step. Links failed by
+// other means (link-down ops, earlier outages) stay down.
+func (e *Engine) HealAt(at sim.Duration) {
+	e.k.At(sim.Time(at), func() {
+		for _, l := range e.partCut {
+			e.sys.IC.SetCubeLinkDown(l[0], l[1], false)
+		}
+		e.record("heal", "%d links restored", len(e.partCut))
+		e.partCut = nil
+	})
+}
+
+func groupsDesc(groups [][]topo.ClusterID) string {
+	var b strings.Builder
+	for gi, g := range groups {
+		if gi > 0 {
+			b.WriteByte('|')
+		}
+		sorted := append([]topo.ClusterID(nil), g...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for ci, c := range sorted {
+			if ci > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+	}
+	return b.String()
+}
+
+// GrayNodeAt puts processing node i into gray degradation at time at:
+// the node stays up and keeps heartbeating, but its interrupt service
+// runs slow times slower and — when dropProb > 0 — each arriving
+// fabric frame is independently lost with probability dropProb. Drops
+// draw from a generator seeded by the engine seed and the node index,
+// so each gray node's fate stream is deterministic regardless of how
+// arrivals interleave across nodes.
+func (e *Engine) GrayNodeAt(at sim.Duration, i int, slow, dropProb float64) {
+	e.k.At(sim.Time(at), func() { e.grayMachine(e.sys.Node(i), slow, dropProb, int64(i)) })
+}
+
+// UngrayNodeAt restores node i to healthy at time at.
+func (e *Engine) UngrayNodeAt(at sim.Duration, i int) {
+	e.k.At(sim.Time(at), func() { e.ungrayMachine(e.sys.Node(i)) })
+}
+
+// GrayHostAt puts host workstation i into gray degradation at time at.
+func (e *Engine) GrayHostAt(at sim.Duration, i int, slow, dropProb float64) {
+	e.k.At(sim.Time(at), func() { e.grayMachine(e.sys.Host(i), slow, dropProb, int64(i)+1<<16) })
+}
+
+// UngrayHostAt restores host i to healthy at time at.
+func (e *Engine) UngrayHostAt(at sim.Duration, i int) {
+	e.k.At(sim.Time(at), func() { e.ungrayMachine(e.sys.Host(i)) })
+}
+
+func (e *Engine) grayMachine(m *core.Machine, slow, dropProb float64, seedIdx int64) {
+	var drop func(*hpc.Message) bool
+	if dropProb > 0 {
+		rng := rand.New(rand.NewSource(e.seed ^ (seedIdx+1)*0x9E3779B97F4A7C1))
+		drop = func(*hpc.Message) bool { return rng.Float64() < dropProb }
+	}
+	m.IF.SetGray(slow, drop)
+	e.record("gray", "%s isr x%.1f drop %.2f", m.Name(), slow, dropProb)
+}
+
+func (e *Engine) ungrayMachine(m *core.Machine) {
+	m.IF.SetGray(0, nil)
+	e.record("ungray", "%s healthy", m.Name())
+}
+
+// GrayStationAt applies gray degradation to S/NET station i of nw:
+// drain reads run slow times slower, and each incoming transfer is
+// lost with probability dropProb (seeded per station, deterministic).
+func (e *Engine) GrayStationAt(at sim.Duration, nw *snet.Network, i int, slow, dropProb float64) {
+	e.k.At(sim.Time(at), func() {
+		var drop func(src, size int) bool
+		if dropProb > 0 {
+			rng := rand.New(rand.NewSource(e.seed ^ (int64(i)+1)*0x9E3779B97F4A7C1))
+			drop = func(src, size int) bool { return rng.Float64() < dropProb }
+		}
+		nw.Station(i).SetGray(slow, drop)
+		e.record("gray", "station %d read x%.1f drop %.2f", i, slow, dropProb)
+	})
+}
+
+// UngrayStationAt restores S/NET station i of nw to healthy.
+func (e *Engine) UngrayStationAt(at sim.Duration, nw *snet.Network, i int) {
+	e.k.At(sim.Time(at), func() {
+		nw.Station(i).SetGray(0, nil)
+		e.record("ungray", "station %d healthy", i)
 	})
 }
 

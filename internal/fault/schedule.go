@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -28,9 +29,17 @@ type Op struct {
 //	2ms   crash host0
 //	3ms   dfs-down 1           # DFS server outage (host machine alive)
 //	4ms   dfs-up 1
+//	2ms   partition 0,1|2,3    # cut topology into reachability groups
+//	6ms   heal                 # merge the partition back
+//	1ms   gray node5 4.0 0.25  # slow ISR 4x, drop 25% of arrivals
+//	7ms   ungray node5
 //
-// Blank lines and #-comments are ignored. Times are virtual, with
-// units ns, us (or µs), ms, or s.
+// A partition lists cluster groups separated by "|"; clusters in
+// different groups cannot reach each other until the matching heal.
+// Clusters left unlisted form one implicit final group.
+//
+// Blank lines and #-comments are ignored. Times are virtual and must
+// be positive, with units ns, us (or µs), ms, or s.
 func ParseSchedule(r io.Reader) ([]Op, error) {
 	var ops []Op
 	sc := bufio.NewScanner(r)
@@ -51,6 +60,9 @@ func ParseSchedule(r io.Reader) ([]Op, error) {
 		at, err := parseDur(fields[0])
 		if err != nil {
 			return nil, fmt.Errorf("fault: line %d: %v", lineNo, err)
+		}
+		if at <= 0 {
+			return nil, fmt.Errorf("fault: line %d: time must be positive, got %q", lineNo, fields[0])
 		}
 		ops = append(ops, Op{At: at, Kind: fields[1], Args: fields[2:]})
 	}
@@ -92,10 +104,90 @@ func parseDur(s string) (sim.Duration, error) {
 	return sim.Duration(f * float64(unit)), nil
 }
 
-// Apply schedules every op on the engine. The engine must already be
-// bound to a system (and to a DFS service if the schedule uses
-// dfs-down/dfs-up).
+// parseMachine parses a "node3"/"host0" target.
+func parseMachine(a string) (string, int, error) {
+	for _, class := range []string{"node", "host"} {
+		if strings.HasPrefix(a, class) {
+			i, err := strconv.Atoi(a[len(class):])
+			if err != nil || i < 0 {
+				return "", 0, fmt.Errorf("bad machine %q", a)
+			}
+			return class, i, nil
+		}
+	}
+	return "", 0, fmt.Errorf("bad machine %q (want nodeN or hostN)", a)
+}
+
+// checkMachine verifies the target machine exists (when a system is
+// bound; a standalone engine skips the bounds check).
+func (e *Engine) checkMachine(class string, i int) error {
+	if e.sys == nil {
+		return nil
+	}
+	n := len(e.sys.Nodes())
+	if class == "host" {
+		n = len(e.sys.Hosts())
+	}
+	if i >= n {
+		return fmt.Errorf("no %s%d in this system (%d %ss)", class, i, n, class)
+	}
+	return nil
+}
+
+// checkLink verifies clusters a and b exist and are cube neighbours.
+func (e *Engine) checkLink(a, b topo.ClusterID) error {
+	if e.sys == nil {
+		return nil
+	}
+	tp := e.sys.Topo
+	n := topo.ClusterID(tp.Clusters())
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return fmt.Errorf("no cluster %d in this system (%d clusters)", max(int(a), int(b)), n)
+	}
+	if !tp.HasLink(a, b) {
+		return fmt.Errorf("no cube link between clusters %d and %d", a, b)
+	}
+	return nil
+}
+
+// parseGroups parses a partition spec like "0,1|2,3": groups of
+// cluster IDs separated by "|".
+func parseGroups(s string) ([][]topo.ClusterID, error) {
+	var groups [][]topo.ClusterID
+	seen := map[topo.ClusterID]bool{}
+	for _, gs := range strings.Split(s, "|") {
+		if gs == "" {
+			return nil, fmt.Errorf("empty group in partition %q", s)
+		}
+		var g []topo.ClusterID
+		for _, cs := range strings.Split(gs, ",") {
+			v, err := strconv.Atoi(cs)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad cluster %q in partition %q", cs, s)
+			}
+			c := topo.ClusterID(v)
+			if seen[c] {
+				return nil, fmt.Errorf("cluster %d listed twice in partition %q", v, s)
+			}
+			seen[c] = true
+			g = append(g, c)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// Apply validates the whole schedule, then arms every op on the
+// engine's clock. The engine must already be bound to a system (and
+// to a DFS service if the schedule uses dfs-down/dfs-up). Validation
+// rejects unknown targets and overlapping entries for the same target
+// — a link failed twice without a repair between, a machine crashed
+// while already down, nested partitions — before anything is
+// scheduled, so a bad schedule never half-applies.
 func (e *Engine) Apply(ops []Op) error {
+	if err := e.validate(ops); err != nil {
+		return err
+	}
 	for i, op := range ops {
 		if err := e.apply(op); err != nil {
 			return fmt.Errorf("fault: op %d (%s): %w", i+1, op.Kind, err)
@@ -119,22 +211,6 @@ func (e *Engine) apply(op Op) error {
 		}
 		return out, nil
 	}
-	machine := func() (string, int, error) {
-		if len(op.Args) != 1 {
-			return "", 0, fmt.Errorf("want one arg like node3 or host0")
-		}
-		a := op.Args[0]
-		for _, class := range []string{"node", "host"} {
-			if strings.HasPrefix(a, class) {
-				i, err := strconv.Atoi(a[len(class):])
-				if err != nil {
-					return "", 0, fmt.Errorf("bad machine %q", a)
-				}
-				return class, i, nil
-			}
-		}
-		return "", 0, fmt.Errorf("bad machine %q (want nodeN or hostN)", a)
-	}
 	switch op.Kind {
 	case "link-down", "link-up":
 		v, err := argInts(2)
@@ -142,6 +218,9 @@ func (e *Engine) apply(op Op) error {
 			return err
 		}
 		a, b := topo.ClusterID(v[0]), topo.ClusterID(v[1])
+		if err := e.checkLink(a, b); err != nil {
+			return err
+		}
 		if op.Kind == "link-down" {
 			e.CubeLinkDownAt(op.At, a, b)
 		} else {
@@ -159,20 +238,93 @@ func (e *Engine) apply(op Op) error {
 		if err != nil {
 			return fmt.Errorf("bad factor %q", op.Args[2])
 		}
-		e.DegradeCubeLinkAt(op.At, topo.ClusterID(v[0]), topo.ClusterID(v[1]), f)
-	case "crash", "restart":
-		class, i, err := machine()
+		a, b := topo.ClusterID(v[0]), topo.ClusterID(v[1])
+		if err := e.checkLink(a, b); err != nil {
+			return err
+		}
+		e.DegradeCubeLinkAt(op.At, a, b, f)
+	case "partition":
+		if len(op.Args) != 1 {
+			return fmt.Errorf("want: partition <a,b|c,d|...>")
+		}
+		groups, err := parseGroups(op.Args[0])
 		if err != nil {
 			return err
 		}
 		if e.sys != nil {
-			n := len(e.sys.Nodes())
-			if class == "host" {
-				n = len(e.sys.Hosts())
+			n := e.sys.Topo.Clusters()
+			if n < 2 {
+				return fmt.Errorf("partition needs a multi-cluster topology")
 			}
-			if i < 0 || i >= n {
-				return fmt.Errorf("no %s%d in this system (%d %ss)", class, i, n, class)
+			listed := 0
+			for _, g := range groups {
+				for _, c := range g {
+					if int(c) >= n {
+						return fmt.Errorf("no cluster %d in this system (%d clusters)", c, n)
+					}
+					listed++
+				}
 			}
+			if len(groups) == 1 && listed >= n {
+				return fmt.Errorf("partition %q has only one group", op.Args[0])
+			}
+		}
+		e.PartitionAt(op.At, groups)
+	case "heal":
+		if len(op.Args) != 0 {
+			return fmt.Errorf("heal takes no args")
+		}
+		e.HealAt(op.At)
+	case "gray":
+		if len(op.Args) != 3 {
+			return fmt.Errorf("want: gray <nodeN|hostN> <slowdown> <dropProb>")
+		}
+		class, i, err := parseMachine(op.Args[0])
+		if err != nil {
+			return err
+		}
+		if err := e.checkMachine(class, i); err != nil {
+			return err
+		}
+		slow, err := strconv.ParseFloat(op.Args[1], 64)
+		if err != nil || slow < 1 {
+			return fmt.Errorf("bad slowdown %q (want >= 1)", op.Args[1])
+		}
+		drop, err := strconv.ParseFloat(op.Args[2], 64)
+		if err != nil || drop < 0 || drop >= 1 {
+			return fmt.Errorf("bad drop probability %q (want 0 <= p < 1)", op.Args[2])
+		}
+		if class == "node" {
+			e.GrayNodeAt(op.At, i, slow, drop)
+		} else {
+			e.GrayHostAt(op.At, i, slow, drop)
+		}
+	case "ungray":
+		if len(op.Args) != 1 {
+			return fmt.Errorf("want: ungray <nodeN|hostN>")
+		}
+		class, i, err := parseMachine(op.Args[0])
+		if err != nil {
+			return err
+		}
+		if err := e.checkMachine(class, i); err != nil {
+			return err
+		}
+		if class == "node" {
+			e.UngrayNodeAt(op.At, i)
+		} else {
+			e.UngrayHostAt(op.At, i)
+		}
+	case "crash", "restart":
+		if len(op.Args) != 1 {
+			return fmt.Errorf("want one arg like node3 or host0")
+		}
+		class, i, err := parseMachine(op.Args[0])
+		if err != nil {
+			return err
+		}
+		if err := e.checkMachine(class, i); err != nil {
+			return err
 		}
 		switch {
 		case op.Kind == "crash" && class == "node":
@@ -202,6 +354,137 @@ func (e *Engine) apply(op Op) error {
 		}
 	default:
 		return fmt.Errorf("unknown op %q", op.Kind)
+	}
+	return nil
+}
+
+// validate walks the schedule in virtual-time order and rejects
+// overlapping entries for the same target before anything is armed:
+// a link must come back up before it can fail again, a machine must
+// restart before it can crash again, a gray machine must be restored
+// before it can degrade again, and partitions cannot nest (a heal must
+// separate them). Two ops for the same target at the same instant are
+// rejected as ambiguous, and explicit link ops are rejected while a
+// partition owns the cut-set (the heal could not tell whose outage a
+// down link is).
+func (e *Engine) validate(ops []Op) error {
+	type ent struct {
+		at  sim.Duration
+		idx int // 1-based op number, for error messages
+		op  Op
+	}
+	ordered := make([]ent, 0, len(ops))
+	for i, op := range ops {
+		ordered = append(ordered, ent{at: op.At, idx: i + 1, op: op})
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
+
+	bad := func(en ent, format string, args ...any) error {
+		return fmt.Errorf("fault: op %d (%s at %v): %s", en.idx, en.op.Kind, en.at, fmt.Sprintf(format, args...))
+	}
+	linkDown := map[[2]int]bool{}    // schedule-owned link outages
+	machDown := map[string]bool{}    // schedule-owned crashes
+	machGray := map[string]bool{}    // schedule-owned gray degradations
+	lastAt := map[string]sim.Duration{} // target -> time of last op on it
+	partActive := false
+	var partAt sim.Duration
+
+	touch := func(en ent, target string) error {
+		if at, ok := lastAt[target]; ok && at == en.at {
+			return bad(en, "second op for %s at the same instant (ambiguous order)", target)
+		}
+		lastAt[target] = en.at
+		return nil
+	}
+	linkKey := func(args []string) ([2]int, string, bool) {
+		if len(args) < 2 {
+			return [2]int{}, "", false
+		}
+		a, err1 := strconv.Atoi(args[0])
+		b, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			return [2]int{}, "", false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}, fmt.Sprintf("link %d-%d", a, b), true
+	}
+
+	for _, en := range ordered {
+		switch en.op.Kind {
+		case "link-down", "link-up", "degrade":
+			key, target, ok := linkKey(en.op.Args)
+			if !ok {
+				continue // apply() reports the malformed args
+			}
+			if err := touch(en, target); err != nil {
+				return err
+			}
+			switch en.op.Kind {
+			case "link-down":
+				if partActive {
+					return bad(en, "link op while a partition is active (since %v); heal first", partAt)
+				}
+				if linkDown[key] {
+					return bad(en, "%s is already down (overlapping outage; add a link-up between)", target)
+				}
+				linkDown[key] = true
+			case "link-up":
+				if partActive {
+					return bad(en, "link op while a partition is active (since %v); heal first", partAt)
+				}
+				delete(linkDown, key)
+			}
+		case "crash", "restart":
+			if len(en.op.Args) != 1 {
+				continue
+			}
+			target := en.op.Args[0]
+			if err := touch(en, target); err != nil {
+				return err
+			}
+			if en.op.Kind == "crash" {
+				if machDown[target] {
+					return bad(en, "%s is already crashed (overlapping crash; add a restart between)", target)
+				}
+				machDown[target] = true
+			} else {
+				delete(machDown, target)
+			}
+		case "gray", "ungray":
+			if len(en.op.Args) < 1 {
+				continue
+			}
+			target := "gray " + en.op.Args[0]
+			if err := touch(en, target); err != nil {
+				return err
+			}
+			if en.op.Kind == "gray" {
+				if machGray[en.op.Args[0]] {
+					return bad(en, "%s is already gray (overlapping degradation; add an ungray between)", en.op.Args[0])
+				}
+				machGray[en.op.Args[0]] = true
+			} else {
+				delete(machGray, en.op.Args[0])
+			}
+		case "partition", "heal":
+			if err := touch(en, "partition"); err != nil {
+				return err
+			}
+			if en.op.Kind == "partition" {
+				if partActive {
+					return bad(en, "partition while one is already active (since %v); heal first", partAt)
+				}
+				partActive = true
+				partAt = en.at
+			} else {
+				if !partActive {
+					return bad(en, "heal with no active partition")
+				}
+				partActive = false
+			}
+		}
 	}
 	return nil
 }

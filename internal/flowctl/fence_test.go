@@ -1,0 +1,85 @@
+package flowctl_test
+
+import (
+	"testing"
+
+	"hpcvorx/internal/flowctl"
+	"hpcvorx/internal/m68k"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/snet"
+)
+
+// TestFenceStarvesStaleSender: once the receiver fences the sender's
+// current incarnation, data frames are dropped without an ACK or NAK —
+// the stop-and-wait exchange can only time out, so the zombie burns
+// retransmission timeouts and delivers nothing.
+func TestFenceStarvesStaleSender(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	delivered := 0
+	rel.SetDeliver(0, func(m snet.Message) { delivered++ })
+	rel.Fence(0, 1, rel.Incarnation(1)+1)
+	done := false
+	k.Spawn("zombie", func(p *sim.Proc) {
+		rel.Send(p, nw.Station(1), 0, 200, "stale")
+		done = true
+	})
+	k.RunFor(sim.Seconds(1))
+	if done {
+		t.Fatal("a fenced sender completed a stop-and-wait exchange")
+	}
+	if delivered != 0 || rel.Delivered != 0 {
+		t.Fatalf("fenced frames reached the receiver: %d", delivered)
+	}
+	if rel.FencedDrops == 0 {
+		t.Fatal("nothing was refused at the fence")
+	}
+	if rel.Timeouts == 0 {
+		t.Fatal("the starved sender never timed out")
+	}
+	k.Shutdown()
+}
+
+// TestRebootClearsFence: bumping the sender's incarnation past the
+// floor is the recovery path — the rebooted station's frames are
+// accepted and the transfer completes exactly once.
+func TestRebootClearsFence(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	delivered := 0
+	rel.SetDeliver(0, func(m snet.Message) { delivered++ })
+	rel.Fence(0, 1, rel.Incarnation(1)+1)
+	rel.BumpIncarnation(1)
+	k.Spawn("rebooted", func(p *sim.Proc) {
+		if n := rel.Send(p, nw.Station(1), 0, 200, "fresh"); n != 1 {
+			t.Errorf("rebooted sender used %d transfers on a clean network", n)
+		}
+	})
+	k.RunFor(sim.Seconds(1))
+	k.Shutdown()
+	if delivered != 1 || rel.FencedDrops != 0 {
+		t.Fatalf("delivered=%d fencedDrops=%d", delivered, rel.FencedDrops)
+	}
+}
+
+// TestFenceOnlyTightens: installing a lower floor than the current one
+// must not reopen the fence.
+func TestFenceOnlyTightens(t *testing.T) {
+	k := sim.NewKernel(5)
+	nw := snet.NewNetwork(k, m68k.DefaultCosts(), 2)
+	rel := flowctl.NewReliable(k, nw)
+	rel.Fence(0, 1, 5)
+	rel.Fence(0, 1, 2) // must be a no-op
+	delivered := 0
+	rel.SetDeliver(0, func(m snet.Message) { delivered++ })
+	k.Spawn("stale", func(p *sim.Proc) {
+		rel.Send(p, nw.Station(1), 0, 200, "stale")
+	})
+	k.RunFor(sim.Seconds(1))
+	if delivered != 0 || rel.FencedDrops == 0 {
+		t.Fatalf("loosened fence let a stale frame through: delivered=%d drops=%d", delivered, rel.FencedDrops)
+	}
+	k.Shutdown()
+}

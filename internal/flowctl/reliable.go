@@ -38,6 +38,17 @@ type Reliable struct {
 	// Delivered counts messages handed to receivers exactly once.
 	Delivered int
 
+	// Incarnation fencing (PR 6): every data frame is stamped with the
+	// sending station's incarnation (boot count, starts at 1); a
+	// receiver that has fenced a source at a higher floor drops stale
+	// frames without acknowledging them, so a zombie sender cannot
+	// complete a stop-and-wait exchange. incs is lazily sized; fences
+	// maps (receiver, source) to the floor.
+	incs   []uint32
+	fences []map[int]uint32
+	// FencedDrops counts data frames refused by an incarnation fence.
+	FencedDrops int
+
 	// Windowed (go-back-N) mode, off unless SetWindowConfig enables
 	// it; see window.go. winSend/winRecv hold per-direction stream
 	// state and stay nil in classic mode.
@@ -62,6 +73,7 @@ type relPend struct {
 
 type relData struct {
 	seq  int
+	inc  uint32 // sender incarnation at transmit time
 	user any
 }
 type relAck struct {
@@ -79,7 +91,12 @@ func NewReliable(k *sim.Kernel, nw *snet.Network) *Reliable {
 		nw:         nw,
 		pending:    make([]*relPend, n),
 		userFns:    make([]func(m snet.Message), n),
+		incs:       make([]uint32, n),
+		fences:     make([]map[int]uint32, n),
 		AckTimeout: 5 * sim.Millisecond,
+	}
+	for i := range r.incs {
+		r.incs[i] = 1
 	}
 	for i := 0; i < n; i++ {
 		i := i
@@ -95,6 +112,14 @@ func NewReliable(k *sim.Kernel, nw *snet.Network) *Reliable {
 				}
 				r.applyAck(i, m.Src, b.upTo)
 			case relData:
+				if fl := r.fences[i]; fl != nil {
+					if min, ok := fl[m.Src]; ok && b.inc < min {
+						// Stale incarnation: refuse silently. No ack means
+						// the zombie's stop-and-wait never completes.
+						r.FencedDrops++
+						return
+					}
+				}
 				if m.Corrupt {
 					// Checksum failure: NAK, the sender will resend.
 					r.sendCtl(st, m.Src, b.seq, false)
@@ -142,6 +167,25 @@ func (r *Reliable) sendCtl(st *snet.Station, to, seq int, ok bool) {
 // SetDeliver installs the exactly-once receive callback for station i.
 func (r *Reliable) SetDeliver(i int, fn func(m snet.Message)) { r.userFns[i] = fn }
 
+// Incarnation returns station i's current incarnation (boot count).
+func (r *Reliable) Incarnation(i int) uint32 { return r.incs[i] }
+
+// BumpIncarnation models station i rebooting: subsequent frames it
+// sends are stamped with the next incarnation.
+func (r *Reliable) BumpIncarnation(i int) { r.incs[i]++ }
+
+// Fence makes station at refuse data frames from src stamped below
+// min. Fences only tighten; a lower min than the installed floor is a
+// no-op.
+func (r *Reliable) Fence(at, src int, min uint32) {
+	if r.fences[at] == nil {
+		r.fences[at] = make(map[int]uint32)
+	}
+	if r.fences[at][src] < min {
+		r.fences[at][src] = min
+	}
+}
+
 // Send reliably delivers one message: transmit, await the ACK; on NAK,
 // timeout, or FIFO overflow retransmit from the still-intact user
 // buffer. Returns the number of data transfers used. One outstanding
@@ -159,7 +203,7 @@ func (r *Reliable) Send(p *sim.Proc, src *snet.Station, dst, size int, payload a
 	pd := &relPend{seq: seq}
 	for {
 		transfers++
-		for src.Send(p, dst, size, relData{seq: seq, user: payload}) != snet.Delivered {
+		for src.Send(p, dst, size, relData{seq: seq, inc: r.incs[src.ID()], user: payload}) != snet.Delivered {
 			p.Sleep(100 * sim.Microsecond)
 			transfers++
 		}

@@ -39,6 +39,11 @@ type Message struct {
 	// through the event tracer. Zero (tracing off, or an untraced
 	// send) means the fabric assigns one itself when tracing is on.
 	Trace uint64
+	// Inc is the sender machine's incarnation (boot count) at send
+	// time, stamped by the netif. A receiver that has fenced the
+	// sender at a higher floor refuses the frame — the structural
+	// defense against zombie survivors of a healed partition.
+	Inc uint32
 
 	// pooled marks a shell born from the interconnect's message arena
 	// (AllocMessage); FreeMessage ignores caller-constructed Messages.

@@ -109,8 +109,9 @@ type Node struct {
 
 	subs []*Subprocess
 
-	crashed bool
-	onCrash []func()
+	crashed     bool
+	incarnation uint32
+	onCrash     []func()
 
 	acctCat   Category
 	acctSince sim.Time
@@ -132,7 +133,7 @@ type intrWork struct {
 
 // NewNode creates a node with its own CPU.
 func NewNode(k *sim.Kernel, costs *m68k.Costs, name string) *Node {
-	return &Node{k: k, costs: costs, name: name, acctCat: CatIdleOther}
+	return &Node{k: k, costs: costs, name: name, acctCat: CatIdleOther, incarnation: 1}
 }
 
 // Name returns the node's name.
@@ -241,12 +242,24 @@ func (n *Node) Crash() {
 
 // Restart brings a crashed node's CPU back with empty state (a cold
 // boot): subprocesses from before the crash stay dead; new ones may be
-// spawned. No-op on a live node.
+// spawned. Every boot gets a fresh incarnation number. No-op on a live
+// node.
 func (n *Node) Restart() {
+	n.RestartAt(0)
+}
+
+// RestartAt restarts a crashed node with an incarnation of at least
+// min — a machine fenced at incarnation floor F reboots with RestartAt
+// (F) so its frames clear the fence. No-op on a live node.
+func (n *Node) RestartAt(min uint32) {
 	if !n.crashed {
 		return
 	}
 	n.crashed = false
+	n.incarnation++
+	if n.incarnation < min {
+		n.incarnation = min
+	}
 	n.lastSP = nil
 	n.account(n.idleCategory())
 	n.tracer.Emit(trace.KRestart, 0, n.name, "cpu", "")
@@ -254,6 +267,12 @@ func (n *Node) Restart() {
 
 // Crashed reports whether the node is currently down.
 func (n *Node) Crashed() bool { return n.crashed }
+
+// Incarnation returns the node's boot count: 1 on first boot, bumped
+// by every Restart. Frames stamped with a stale incarnation identify a
+// zombie — a machine the supervisor has already declared dead and
+// replaced — and can be fenced at the receiving netif.
+func (n *Node) Incarnation() uint32 { return n.incarnation }
 
 // Beacon schedules fn every d of virtual time until the returned stop
 // function is called. Ticks that land while the node is crashed are

@@ -30,6 +30,40 @@ type Envelope struct {
 	Body    any
 }
 
+// fenceService is the driver-internal service that distributes
+// incarnation fences. A fence note names a target endpoint and the
+// minimum acceptable incarnation; a machine receiving a note about
+// *itself* has been declared dead by the supervisor and reboots under
+// the floor, killing its zombie subprocesses.
+const fenceService = "netif.fence"
+
+// FenceNoteBytes is the wire size of a fence note.
+const FenceNoteBytes = 16
+
+// fenceISR is the interrupt-level cost of absorbing a fence note.
+const fenceISR = 4 * sim.Microsecond
+
+// selfFenceReboot is the cold-boot delay a self-fencing machine pays
+// between crashing its zombie state and coming back under the floor.
+const selfFenceReboot = 1 * sim.Millisecond
+
+type fenceNote struct {
+	Target topo.EndpointID
+	Min    uint32
+}
+
+// Verifier observes frame-level accept/refuse decisions; the chaos
+// harness's invariant checker implements it. Nil when unused — the
+// hooks cost one predicate each.
+type Verifier interface {
+	// FrameAccepted fires for every frame handed to a registered
+	// service on dst.
+	FrameAccepted(dst, src topo.EndpointID, inc uint32, service string)
+	// FrameRefused fires for every frame dropped by an incarnation
+	// fence (the frame's inc was below the floor min for src).
+	FrameRefused(dst, src topo.EndpointID, inc, min uint32, service string)
+}
+
 // Service handles one class of incoming messages.
 type Service struct {
 	// Cost returns the interrupt-level CPU time needed to accept the
@@ -94,6 +128,28 @@ type IF struct {
 	// AsyncDropped counts asynchronous sends abandoned because link
 	// failures made the destination unreachable.
 	AsyncDropped int
+
+	// Incarnation fencing (PR 6). fences maps a source endpoint to the
+	// minimum incarnation this interface still accepts from it; frames
+	// stamped below the floor are refused before any service sees them
+	// and the sender is told to reboot.
+	fences map[topo.EndpointID]uint32
+	// FencedDrops counts frames refused by an incarnation fence.
+	FencedDrops int
+	// SelfFences counts reboots forced by a fence note naming this
+	// machine.
+	SelfFences int
+
+	// Gray degradation (PR 6): a flaky-but-alive receiver. graySlow
+	// multiplies every ISR service cost; grayDrop, when non-nil, is
+	// consulted per arriving frame and true means the frame vanishes
+	// as if the NIC lost it.
+	graySlow float64
+	grayDrop func(m *hpc.Message) bool
+	// GrayDropped counts frames lost to gray degradation.
+	GrayDropped int
+
+	verifier Verifier
 }
 
 // Attach wires node to endpoint ep of ic and returns the interface.
@@ -120,6 +176,10 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 		f.batchPending = false
 		f.batchTimer.Stop()
 	})
+	f.services[fenceService] = Service{
+		Cost:   func(*hpc.Message) sim.Duration { return fenceISR },
+		Handle: f.handleFenceNote,
+	}
 	ic.SetDeliver(ep, func(d *hpc.Delivery) {
 		if node.Crashed() {
 			f.DroppedDead++
@@ -127,6 +187,19 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			d.Release()
 			ic.FreeMessage(msg)
 			return
+		}
+		if f.grayDrop != nil && f.grayDrop(d.Msg) {
+			f.GrayDropped++
+			msg := d.Msg
+			d.Release()
+			ic.FreeMessage(msg)
+			return
+		}
+		if len(f.fences) > 0 {
+			if min := f.fences[d.Msg.Src]; min > 0 && d.Msg.Inc < min {
+				f.refuse(d, min)
+				return
+			}
 		}
 		env, ok := d.Msg.Payload.(Envelope)
 		if !ok {
@@ -147,6 +220,9 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			d.Release()
 			ic.FreeMessage(msg)
 			return
+		}
+		if v := f.verifier; v != nil {
+			v.FrameAccepted(f.ep, d.Msg.Src, d.Msg.Inc, env.Service)
 		}
 		node.Tracer().Emit(trace.KService, d.Msg.Trace, node.Name(), "svc/"+env.Service,
 			fmt.Sprintf("%dB from %d", d.Msg.Size, d.Msg.Src))
@@ -173,7 +249,7 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			return
 		}
 		f.pending = append(f.pending, d)
-		node.Interrupt(svc.Cost(msg), func() {
+		node.Interrupt(f.isrCost(svc.Cost(msg)), func() {
 			f.unpend(d)
 			d.Release() // message has been read out of the input section
 			svc.Handle(msg)
@@ -227,7 +303,7 @@ func (f *IF) fireBatch() {
 		}
 	}
 	f.batchPending = true
-	f.node.Interrupt(cost, func() {
+	f.node.Interrupt(f.isrCost(cost), func() {
 		for _, e := range entries {
 			e.svc.Handle(e.msg)
 			f.ic.FreeMessage(e.msg)
@@ -240,6 +316,102 @@ func (f *IF) fireBatch() {
 			f.fireBatch()
 		}
 	})
+}
+
+// isrCost scales an ISR cost by the gray slow-down factor (identity
+// when the node is not gray).
+func (f *IF) isrCost(d sim.Duration) sim.Duration {
+	if f.graySlow > 1 {
+		return sim.Duration(float64(d) * f.graySlow)
+	}
+	return d
+}
+
+// SetGray makes the receive side flaky: slow (> 1) multiplies every
+// ISR service cost, and drop — when non-nil — is consulted per
+// arriving frame; true loses the frame silently. SetGray(0, nil)
+// restores a healthy interface. The fault engine drives this with a
+// seeded per-node generator so gray runs stay deterministic.
+func (f *IF) SetGray(slow float64, drop func(m *hpc.Message) bool) {
+	f.graySlow = slow
+	f.grayDrop = drop
+}
+
+// Gray reports whether the interface is currently degraded.
+func (f *IF) Gray() bool { return f.graySlow > 1 || f.grayDrop != nil }
+
+// SetVerifier installs the invariant checker's frame observer (nil to
+// remove).
+func (f *IF) SetVerifier(v Verifier) { f.verifier = v }
+
+// Fence refuses future frames from src stamped with an incarnation
+// below min. Raising an existing floor is allowed; lowering is a no-op
+// (fences only tighten).
+func (f *IF) Fence(src topo.EndpointID, min uint32) {
+	if f.fences == nil {
+		f.fences = make(map[topo.EndpointID]uint32)
+	}
+	if f.fences[src] < min {
+		f.fences[src] = min
+	}
+}
+
+// FenceFloor returns the minimum incarnation accepted from src (0 when
+// unfenced).
+func (f *IF) FenceFloor(src topo.EndpointID) uint32 { return f.fences[src] }
+
+// SendFenceNote ships a fence note to the machine at dst: "refuse
+// frames from target stamped below min" — or, when dst is target
+// itself, "you are fenced; reboot". The supervisor broadcasts these
+// when it confirms a death with fencing enabled.
+func (f *IF) SendFenceNote(dst, target topo.EndpointID, min uint32) {
+	f.SendAsync(dst, fenceService, FenceNoteBytes, fenceNote{Target: target, Min: min}, nil)
+}
+
+// refuse drops a fenced frame and tells the stale sender to reboot.
+func (f *IF) refuse(d *hpc.Delivery, min uint32) {
+	msg := d.Msg
+	f.FencedDrops++
+	svcName := ""
+	if env, ok := msg.Payload.(Envelope); ok {
+		svcName = env.Service
+	}
+	f.node.Tracer().Emit(trace.KFence, msg.Trace, f.node.Name(), "svc/"+fenceService,
+		fmt.Sprintf("refused %s inc %d < %d from %d", svcName, msg.Inc, min, msg.Src))
+	if v := f.verifier; v != nil {
+		v.FrameRefused(f.ep, msg.Src, msg.Inc, min, svcName)
+	}
+	src := msg.Src
+	d.Release()
+	f.ic.FreeMessage(msg)
+	// Answer every refused frame with a note (like a RST): the zombie
+	// may be unreachable when the fence is installed, so the note that
+	// finally lands is the one riding its first post-heal retransmit.
+	f.SendAsync(src, fenceService, FenceNoteBytes, fenceNote{Target: src, Min: min}, nil)
+}
+
+// handleFenceNote processes a fence note: notes about other machines
+// install the floor locally (supervisor broadcast); a note naming this
+// machine means the cluster has moved on without it — crash the zombie
+// state and cold-boot under the floor.
+func (f *IF) handleFenceNote(m *hpc.Message) {
+	note, ok := m.Payload.(Envelope).Body.(fenceNote)
+	if !ok {
+		return
+	}
+	if note.Target != f.ep {
+		f.Fence(note.Target, note.Min)
+		return
+	}
+	if note.Min <= f.node.Incarnation() {
+		return // already rebooted past the floor
+	}
+	f.SelfFences++
+	f.node.Tracer().Emit(trace.KFence, 0, f.node.Name(), "cpu",
+		fmt.Sprintf("self-fence: reboot to inc >= %d", note.Min))
+	min := note.Min
+	f.node.Crash()
+	f.node.Kernel().After(selfFenceReboot, func() { f.node.RestartAt(min) })
 }
 
 // unpend forgets a delivery that has been read out of the hardware.
@@ -287,6 +459,7 @@ func (f *IF) SendCtx(sp *kern.Subprocess, tid uint64, dst topo.EndpointID, servi
 	m.Payload = Envelope{Service: service, Body: body}
 	m.Tag = service
 	m.Trace = tid
+	m.Inc = f.node.Incarnation()
 	if err := f.ic.Send(sp.Proc(), m, nil); err != nil {
 		f.ic.FreeMessage(m) // never entered the fabric
 		return err
@@ -309,6 +482,7 @@ func (f *IF) SendAsyncCtx(tid uint64, dst topo.EndpointID, service string, size 
 	msg.Payload = Envelope{Service: service, Body: body}
 	msg.Tag = service
 	msg.Trace = tid
+	msg.Inc = f.node.Incarnation()
 	var cb func(*hpc.Message)
 	if onDelivered != nil {
 		cb = func(*hpc.Message) { onDelivered() }

@@ -169,9 +169,18 @@ type Station struct {
 	deliver  func(m Message)
 	draining bool
 
+	// Gray degradation (PR 6): a flaky-but-alive station. graySlow
+	// multiplies the per-record read cost of the drain process;
+	// grayDrop, when non-nil, is consulted per incoming transfer and
+	// true loses the deposit as if the FIFO logic glitched.
+	graySlow float64
+	grayDrop func(src, size int) bool
+
 	// Counters.
 	DeliveredMsgs int
 	DiscardedJunk int
+	// GrayDropped counts transfers lost to gray degradation.
+	GrayDropped int
 }
 
 // fifoRecord is one entry in a receive FIFO: either a whole message or
@@ -197,6 +206,18 @@ func (s *Station) FifoFree() int { return s.fifoCap - s.fifoUsed }
 // process) for each complete message read out of the FIFO.
 func (s *Station) SetDeliver(fn func(m Message)) { s.deliver = fn }
 
+// SetGray makes the station flaky without killing it: slow (> 1)
+// multiplies the fixed per-record cost of the kernel drain process,
+// and drop — when non-nil — is consulted per incoming transfer; true
+// loses the deposit while the transmitter still sees a clean bus
+// transfer. SetGray(0, nil) restores a healthy station. The fault
+// engine drives this with a seeded generator so runs stay
+// deterministic.
+func (s *Station) SetGray(slow float64, drop func(src, size int) bool) {
+	s.graySlow = slow
+	s.grayDrop = drop
+}
+
 // StartKernel spawns the station's low-level input process, which
 // reads records out of the FIFO as fast as the CPU allows: a fixed
 // per-record cost plus the per-byte copy cost. Junk fragments are
@@ -220,7 +241,11 @@ func (s *Station) StartKernel() {
 			}
 			rec := s.records[0]
 			s.records = s.records[1:]
-			p.Sleep(s.nw.costs.SNETReadFixed)
+			rd := s.nw.costs.SNETReadFixed
+			if s.graySlow > 1 {
+				rd = sim.Duration(float64(rd) * s.graySlow)
+			}
+			p.Sleep(rd)
 			for done := 0; done < rec.size; {
 				n := chunk
 				if rec.size-done < n {
@@ -275,6 +300,13 @@ func (s *Station) Send(p *sim.Proc, dst, size int, payload any) Result {
 		}
 		if fate == FateDrop {
 			// The transmitter saw a clean transfer; the bytes are gone.
+			nw.stats.Lost++
+			return Delivered
+		}
+		if d.grayDrop != nil && d.grayDrop(s.id, size) {
+			// Gray receiver hardware lost the deposit; like FateDrop,
+			// only an end-to-end timeout can tell.
+			d.GrayDropped++
 			nw.stats.Lost++
 			return Delivered
 		}

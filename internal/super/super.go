@@ -99,6 +99,14 @@ type Config struct {
 	// RestartDelay models downloading the image to the spare node and
 	// cold-booting the subprocess. Default 1 ms.
 	RestartDelay sim.Duration
+	// Fence enables partition-tolerant supervision: deaths are only
+	// confirmed while the supervisor can see a majority of the cluster
+	// (itself plus the fresh members), and every confirm broadcasts an
+	// incarnation fence so a zombie on the minority side of a partition
+	// is structurally refused after the heal instead of resuming as a
+	// second active incarnation. Off by default — the classic profile
+	// trusts silence.
+	Fence bool
 }
 
 func (c Config) withDefaults() Config {
@@ -301,6 +309,12 @@ type member struct {
 	m        *core.Machine
 	lastSeen sim.Time
 	state    State
+	// lastInc is the highest incarnation seen in a heartbeat from this
+	// machine (1 until the first restart: machines boot at 1).
+	lastInc uint32
+	// held marks a member whose confirm is gated on quorum, so the
+	// "quorum-hold" record fires once per outage rather than per sweep.
+	held bool
 }
 
 // wire message bodies
@@ -336,15 +350,41 @@ type Supervisor struct {
 	stops     []func()
 	started   bool
 
-	recs []Record
+	recs     []Record
+	verifier Verifier
+	// outage tracks a fence-mode quorum loss across sweeps, so the
+	// regain edge can void silence accumulated while blind.
+	outage bool
 
 	// Stats.
-	Heartbeats  int // heartbeats absorbed
-	Checkpoints int // snapshots committed
-	Restarts    int // task incarnations spawned on spares
-	Rebinds     int // surviving channel ends repointed
-	EndsFailed  int // unmanaged/orphaned ends given peer-death errors
+	Heartbeats    int // heartbeats absorbed
+	Checkpoints   int // snapshots committed
+	Restarts      int // task incarnations spawned on spares
+	Rebinds       int // surviving channel ends repointed
+	EndsFailed    int // unmanaged/orphaned ends given peer-death errors
+	FalseSuspects int // suspicions cleared by a late heartbeat
+	QuorumHolds   int // confirms held for lack of quorum (fence mode)
+	FencesSent    int // fence notes broadcast on confirm (fence mode)
 }
+
+// Verifier observes supervision decisions for the invariant checker
+// (internal/verify): fence installations and task migrations, which
+// together define where each machine incarnation may legitimately be
+// active. Hooks fire in both classic and fence mode — in classic mode
+// the checker uses them to demonstrate what the silence-trusting path
+// lets through.
+type Verifier interface {
+	// MachineFenced fires when a confirm broadcasts an incarnation
+	// floor for the machine at ep.
+	MachineFenced(ep topo.EndpointID, minInc uint32)
+	// TaskMigrated fires when a supervised channel end migrates off a
+	// confirmed-dead machine: frames on ch from staleEP stamped at or
+	// below staleInc now belong to a superseded incarnation.
+	TaskMigrated(ch uint64, staleEP topo.EndpointID, staleInc uint32, newEP topo.EndpointID)
+}
+
+// SetVerifier installs the supervision observer (nil to remove).
+func (s *Supervisor) SetVerifier(v Verifier) { s.verifier = v }
 
 // New creates a supervisor running on host (one of sys's machines,
 // conventionally a workstation) and monitoring every processing node.
@@ -379,7 +419,7 @@ func New(sys *core.System, host *core.Machine, res *resmgr.VORX, cfg Config) *Su
 		if n == host {
 			continue
 		}
-		s.members[n.EP] = &member{m: n, state: Alive}
+		s.members[n.EP] = &member{m: n, state: Alive, lastInc: 1}
 		s.order = append(s.order, n.EP)
 	}
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
@@ -415,9 +455,13 @@ func (s *Supervisor) Start() {
 	}
 	s.started = true
 	now := s.sys.K.Now()
-	s.record("start", "monitoring %d machines: H=%v suspect=%v confirm=%v ckpt=%v restart=%v",
+	mode := ""
+	if s.cfg.Fence {
+		mode = " fence=on"
+	}
+	s.record("start", "monitoring %d machines: H=%v suspect=%v confirm=%v ckpt=%v restart=%v%s",
 		len(s.order), s.cfg.HeartbeatEvery, s.cfg.SuspectAfter, s.cfg.ConfirmAfter,
-		s.cfg.CheckpointEvery, s.cfg.RestartDelay)
+		s.cfg.CheckpointEvery, s.cfg.RestartDelay, mode)
 	for _, ep := range s.order {
 		mb := s.members[ep]
 		mb.lastSeen = now
@@ -491,6 +535,9 @@ func (s *Supervisor) handleHeartbeat(m *hpc.Message) {
 	}
 	s.Heartbeats++
 	mb.lastSeen = s.sys.K.Now()
+	if m.Inc > mb.lastInc {
+		mb.lastInc = m.Inc
+	}
 	if tr := s.tracer(); tr.Enabled() {
 		tr.Emit(trace.KHeartbeat, m.Trace, s.host.Kern.Name(), "super", mb.m.Name())
 		tr.Count("super.heartbeats", 1)
@@ -498,13 +545,17 @@ func (s *Supervisor) handleHeartbeat(m *hpc.Message) {
 	switch mb.state {
 	case Suspect:
 		mb.state = Alive
+		mb.held = false
+		s.FalseSuspects++
+		s.tracer().Count("super.false_suspects", 1)
 		s.record("clear", "%s heartbeat resumed, suspicion cleared", mb.m.Name())
 	case Dead:
 		// A restarted machine beats again. It rejoins as a fresh
 		// (empty) member: its pre-crash subprocesses were migrated
 		// away or failed, and stay that way.
 		mb.state = Alive
-		s.record("rejoin", "%s rejoined as a fresh machine", mb.m.Name())
+		mb.held = false
+		s.record("rejoin", "%s rejoined as a fresh machine (inc %d)", mb.m.Name(), mb.lastInc)
 	}
 }
 
@@ -512,6 +563,28 @@ func (s *Supervisor) handleHeartbeat(m *hpc.Message) {
 // monitored machine by how long it has been silent.
 func (s *Supervisor) sweep() {
 	now := s.sys.K.Now()
+	if s.cfg.Fence {
+		switch q := s.quorum(now); {
+		case !q:
+			s.outage = true
+		case s.outage:
+			// Quorum is back after an outage. Silence accumulated while
+			// we lacked a majority view is not evidence of death — a
+			// held suspect's heartbeat may simply not have crossed the
+			// merged fabric yet — so void the held silence clocks and
+			// let the confirm timeout run afresh from here.
+			s.outage = false
+			voided := 0
+			for _, ep := range s.order {
+				if mb := s.members[ep]; mb.held {
+					mb.lastSeen = now
+					mb.held = false
+					voided++
+				}
+			}
+			s.record("quorum-back", "majority view restored; silence clocks of %d held suspects voided", voided)
+		}
+	}
 	for _, ep := range s.order {
 		mb := s.members[ep]
 		if mb.state == Dead {
@@ -520,6 +593,23 @@ func (s *Supervisor) sweep() {
 		silent := now.Sub(mb.lastSeen)
 		switch {
 		case silent >= s.cfg.ConfirmAfter:
+			if s.cfg.Fence && s.outage {
+				// Minority view: our silence verdicts are not to be
+				// trusted — we may be the ones cut off. Hold the
+				// suspects (no restart, no fence) and degrade until
+				// heartbeats return.
+				if mb.state == Alive {
+					mb.state = Suspect
+					s.record("suspect", "%s silent for %v", mb.m.Name(), silent)
+				}
+				if !mb.held {
+					mb.held = true
+					s.QuorumHolds++
+					s.record("quorum-hold", "%s silent %v but no quorum; holding suspect, no restart",
+						mb.m.Name(), silent)
+				}
+				continue
+			}
 			s.confirm(mb, silent)
 		case silent >= s.cfg.SuspectAfter && mb.state == Alive:
 			mb.state = Suspect
@@ -528,13 +618,52 @@ func (s *Supervisor) sweep() {
 	}
 }
 
+// quorum reports whether the supervisor currently sees a majority of
+// the cluster: the fresh members (heard from within SuspectAfter) plus
+// itself against the full membership plus itself. On the minority side
+// of a partition this fails, and silence stops being evidence of
+// death.
+func (s *Supervisor) quorum(now sim.Time) bool {
+	fresh := 0
+	for _, ep := range s.order {
+		mb := s.members[ep]
+		if mb.state != Dead && now.Sub(mb.lastSeen) < s.cfg.SuspectAfter {
+			fresh++
+		}
+	}
+	return (fresh+1)*2 > len(s.order)+1
+}
+
 // confirm declares a machine dead and drives recovery: peer-death
 // errors for unmanaged channel ends, force-free of the dead node's
 // processors, and checkpoint/restart migration for its tasks.
 func (s *Supervisor) confirm(mb *member, silent sim.Duration) {
 	mb.state = Dead
+	mb.held = false
 	s.record("confirm", "%s declared dead (silent %v)", mb.m.Name(), silent)
-	s.tracer().Observe("super.detect_latency_ns", float64(silent))
+	s.tracer().Observe("super.detect.latency", float64(silent))
+	if s.cfg.Fence {
+		// Fence the dead incarnation before anything restarts: every
+		// live machine refuses frames stamped below the floor, so if
+		// the "dead" machine is actually a zombie behind a partition,
+		// its post-heal traffic is structurally refused and the first
+		// refusal tells it to reboot above the floor.
+		floor := mb.lastInc + 1
+		s.host.IF.Fence(mb.m.EP, floor)
+		sent := 0
+		for _, om := range s.sys.Machines() {
+			if om == s.host || om == mb.m || om.Kern.Crashed() {
+				continue
+			}
+			s.host.IF.SendFenceNote(om.EP, mb.m.EP, floor)
+			sent++
+		}
+		s.FencesSent += sent
+		s.record("fence", "%s fenced below inc %d (%d notes)", mb.m.Name(), floor, sent)
+		if v := s.verifier; v != nil {
+			v.MachineFenced(mb.m.EP, floor)
+		}
+	}
 	failed := 0
 	for _, other := range s.sys.Machines() {
 		if other == mb.m || other.Kern.Crashed() {
@@ -581,6 +710,12 @@ func (s *Supervisor) migrate(t *Task) {
 	byEP := make(map[topo.EndpointID]resmgr.NodeID)
 	for i, n := range s.sys.Nodes() {
 		if n.Kern.Crashed() || n == s.host {
+			continue
+		}
+		// A spare must be a member we can currently hear: during a
+		// partition the whole minority side is Suspect or Dead, and
+		// restarting a task behind the cut would strand it.
+		if mb := s.members[n.EP]; mb != nil && mb.state != Alive {
 			continue
 		}
 		if s.res != nil && s.res.OwnerOf(resmgr.NodeID(i)) != "" {
@@ -662,6 +797,11 @@ func (mc *managedChan) endOf(t *Task) *chanEnd {
 // marks, surviving peers are rebound to the new endpoint (replaying
 // everything the checkpoint missed), and the body runs again.
 func (s *Supervisor) restart(t *Task, spare *core.Machine, snap snapshot) {
+	staleEP := t.mach.EP
+	staleInc := uint32(1)
+	if mb := s.members[staleEP]; mb != nil {
+		staleInc = mb.lastInc
+	}
 	t.gen++
 	t.mach = spare
 	t.ck = nil // the new incarnation re-registers its checkpointer
@@ -684,6 +824,9 @@ func (s *Supervisor) restart(t *Task, spare *core.Machine, snap snapshot) {
 		}
 		e.ep = spare.EP
 		inc.chans[mc.name] = nch
+		if v := s.verifier; v != nil {
+			v.TaskMigrated(id, staleEP, staleInc, spare.EP)
+		}
 		if om := s.sys.ByEndpoint(o.ep); om != nil && !om.Kern.Crashed() {
 			if om.Chans.Rebind(id, spare.EP, e.mark.Read) {
 				s.Rebinds++

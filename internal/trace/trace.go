@@ -79,6 +79,8 @@ const (
 	KPhase // one profiled program phase (span)
 	// Pipelined fast path (PR 5).
 	KWindow // sliding-window credit consumed / advanced
+	// Incarnation fencing (PR 6).
+	KFence // frame refused by a fence, or a machine self-fencing
 	numKinds
 )
 
@@ -96,6 +98,7 @@ var kindNames = [numKinds]string{
 	KProc:   "proc",
 	KPhase:  "phase",
 	KWindow: "window",
+	KFence:  "fence",
 }
 
 var kindCats = [numKinds]string{
@@ -112,6 +115,7 @@ var kindCats = [numKinds]string{
 	KProc:   "sim",
 	KPhase:  "prof",
 	KWindow: "chan",
+	KFence:  "netif",
 }
 
 // String returns the kind's stable wire name.

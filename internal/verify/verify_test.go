@@ -1,0 +1,190 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpcvorx/internal/channels"
+	"hpcvorx/internal/netif"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/super"
+	"hpcvorx/internal/topo"
+	"hpcvorx/internal/verify"
+)
+
+// The checker must satisfy every layer's observer interface — this is
+// the compile-time contract that Attach and SetVerifier rely on.
+var (
+	_ channels.Verifier = (*verify.Checker)(nil)
+	_ netif.Verifier    = (*verify.Checker)(nil)
+	_ super.Verifier    = (*verify.Checker)(nil)
+)
+
+const chID = 65537
+
+func newChecker() *verify.Checker {
+	return verify.New(sim.NewKernel(1))
+}
+
+// rules extracts the violated rule names in event order.
+func rules(c *verify.Checker) []string {
+	var rs []string
+	for _, v := range c.Violations() {
+		rs = append(rs, v.Rule)
+	}
+	return rs
+}
+
+func wantRules(t *testing.T, c *verify.Checker, want ...string) {
+	t.Helper()
+	got := rules(c)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("violations = %v, want %v\n%v", got, want, c.Violations())
+	}
+}
+
+// TestCleanStream: the happy path — in-order writes, deliveries, acks,
+// retention and stable release — trips nothing.
+func TestCleanStream(t *testing.T) {
+	c := newChecker()
+	var w, r topo.EndpointID = 3, 7
+	for seq := 0; seq < 4; seq++ {
+		c.ChanWrite(chID, "pipe", w, 1, seq, 64, seq)
+		c.ChanDeliver(chID, "pipe", w, 1, seq, seq, false)
+		c.ChanAck(chID, w, seq)
+		c.ChanRetain(chID, w, seq)
+	}
+	for seq := 0; seq < 4; seq++ {
+		c.ChanRelease(chID, w, seq, false)
+	}
+	if !c.Ok() {
+		t.Fatalf("clean stream flagged: %v", c.Violations())
+	}
+	if c.Writes != 4 || c.Delivered != 4 || c.Acked != 4 || c.Retains != 4 || c.Releases != 4 {
+		t.Fatalf("stats off: %s", c.Summary())
+	}
+	_ = r
+}
+
+func TestFIFOViolation(t *testing.T) {
+	c := newChecker()
+	c.ChanDeliver(chID, "pipe", 3, 1, 1, "m1", false)
+	wantRules(t, c, "fifo")
+}
+
+func TestDoubleDelivery(t *testing.T) {
+	c := newChecker()
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", false)
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", false)
+	wantRules(t, c, "double-delivery", "fifo")
+}
+
+func TestPhantomDup(t *testing.T) {
+	c := newChecker()
+	c.ChanDeliver(chID, "pipe", 3, 1, 5, "m5", true)
+	wantRules(t, c, "phantom-dup")
+}
+
+func TestDupPayloadDivergence(t *testing.T) {
+	c := newChecker()
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", false)
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "MUTATED", true)
+	wantRules(t, c, "payload-divergence")
+}
+
+func TestCorruption(t *testing.T) {
+	c := newChecker()
+	c.ChanWrite(chID, "pipe", 3, 1, 0, 64, "m0")
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "GARBLED", false)
+	wantRules(t, c, "corruption")
+}
+
+func TestAckedButLost(t *testing.T) {
+	c := newChecker()
+	c.ChanWrite(chID, "pipe", 3, 1, 0, 64, "m0")
+	c.ChanAck(chID, 3, 0)
+	wantRules(t, c, "acked-but-lost")
+}
+
+func TestRetainConservation(t *testing.T) {
+	c := newChecker()
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", false)
+	c.ChanRetain(chID, 3, 0)
+	c.ChanRetain(chID, 3, 0)
+	c.ChanRelease(chID, 3, 0, false)
+	c.ChanRelease(chID, 3, 1, false)
+	wantRules(t, c, "double-retain", "release-unretained")
+}
+
+func TestReplayDivergence(t *testing.T) {
+	c := newChecker()
+	c.ChanWrite(chID, "pipe", 3, 1, 0, 64, "m0")
+	c.ChanWrite(chID, "pipe", 3, 2, 0, 64, "DIFFERENT")
+	wantRules(t, c, "replay-divergence")
+}
+
+// TestStaleIncarnationFloor: after a migration fences (3, inc 1), a
+// frame from endpoint 3 stamped inc 1 is an I1 breach; inc 2 is fine.
+func TestStaleIncarnationFloor(t *testing.T) {
+	c := newChecker()
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", false)
+	c.TaskMigrated(chID, 3, 1, 9)
+	c.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", true)
+	wantRules(t, c, "stale-incarnation")
+	c2 := newChecker()
+	c2.ChanDeliver(chID, "pipe", 3, 1, 0, "m0", false)
+	c2.TaskMigrated(chID, 3, 1, 9)
+	c2.ChanDeliver(chID, "pipe", 3, 2, 0, "m0", true)
+	if !c2.Ok() {
+		t.Fatalf("post-floor incarnation flagged: %v", c2.Violations())
+	}
+}
+
+// TestReincarnationReplayWindow: a declared reincarnation makes the
+// window [recvSeq, expect) deliverable once more — byte-identical
+// replay is clean, a third delivery or a divergent one is not.
+func TestReincarnationReplayWindow(t *testing.T) {
+	c := newChecker()
+	var w, r topo.EndpointID = 3, 7
+	for seq := 0; seq < 3; seq++ {
+		c.ChanDeliver(chID, "pipe", w, 1, seq, seq, false)
+	}
+	c.ChanReincarnate(chID, r, w, 0, 1) // reader restored at read-mark 1
+	c.ChanDeliver(chID, "pipe", w, 1, 1, 1, false)
+	c.ChanDeliver(chID, "pipe", w, 1, 2, 2, false)
+	if !c.Ok() {
+		t.Fatalf("declared replay flagged: %v", c.Violations())
+	}
+	c.ChanDeliver(chID, "pipe", w, 1, 2, 2, false) // window consumed
+	wantRules(t, c, "double-delivery", "fifo")
+}
+
+// TestMigrationAliasing: the migrated writer's new endpoint continues
+// the old identity — its replayed write joins the original direction
+// state (same fingerprints, no divergence), and the retention ledger
+// restarts because the old machine's buffers died with it.
+func TestMigrationAliasing(t *testing.T) {
+	c := newChecker()
+	var w, spare topo.EndpointID = 3, 9
+	c.ChanWrite(chID, "pipe", w, 1, 0, 64, "m0")
+	c.ChanDeliver(chID, "pipe", w, 1, 0, "m0", false)
+	c.ChanRetain(chID, w, 0)
+	c.TaskMigrated(chID, w, 1, spare)
+	c.ChanWrite(chID, "pipe", spare, 2, 0, 64, "m0") // checkpoint replay
+	c.ChanDeliver(chID, "pipe", spare, 2, 0, "m0", true)
+	c.ChanRetain(chID, spare, 0) // fresh ledger on the spare
+	c.ChanRelease(chID, spare, 0, false)
+	if !c.Ok() {
+		t.Fatalf("migrated identity flagged: %v", c.Violations())
+	}
+}
+
+func TestBadRefusal(t *testing.T) {
+	c := newChecker()
+	c.FrameRefused(7, 3, 1, 2, "chan") // below floor: legitimate
+	c.FrameRefused(7, 3, 2, 2, "chan") // at floor: the fence is broken
+	wantRules(t, c, "bad-refusal")
+	if c.FramesRefused != 2 {
+		t.Fatalf("FramesRefused = %d", c.FramesRefused)
+	}
+}

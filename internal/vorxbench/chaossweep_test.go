@@ -1,0 +1,45 @@
+package vorxbench
+
+import "testing"
+
+// TestChaosScheduleDeterminism: the generated schedule is a pure
+// function of its seed.
+func TestChaosScheduleDeterminism(t *testing.T) {
+	if a, b := ChaosSchedule(42), ChaosSchedule(42); a != b {
+		t.Fatalf("seed 42 diverged:\n%s----\n%s", a, b)
+	}
+	if a, c := ChaosSchedule(42), ChaosSchedule(43); a == c {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestChaosSweepInvariantClean runs a slice of the CI sweep in-repo:
+// 200 seeded schedules mixing partitions, gray degradation, and
+// crashes, every run invariant-checked. Zero violations is the bar.
+func TestChaosSweepInvariantClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is the long way around; CI runs the full 1000")
+	}
+	sw := RunChaosSweep(1, 200)
+	if sw.Violations != 0 {
+		t.Fatalf("%d violations across seeds %v", sw.Violations, sw.BadSeeds)
+	}
+	if sw.Delivered == 0 || sw.Dups == 0 {
+		t.Fatalf("sweep too tame to mean anything: delivered=%d dups=%d (faults not biting?)",
+			sw.Delivered, sw.Dups)
+	}
+	if sw.Delivered < sw.Expected*9/10 {
+		t.Fatalf("delivered %d of %d expected — schedules are killing runs outright", sw.Delivered, sw.Expected)
+	}
+}
+
+// TestChaosVerifyRunDeterminism: one full chaos-verify run is
+// bit-stable — same seed, same deliveries, same retransmits, same
+// (empty) violation list.
+func TestChaosVerifyRunDeterminism(t *testing.T) {
+	a, b := ChaosVerifyRun(7), ChaosVerifyRun(7)
+	if a.Delivered != b.Delivered || a.Dups != b.Dups || a.Retrans != b.Retrans ||
+		len(a.Violations) != len(b.Violations) {
+		t.Fatalf("seed 7 diverged: %+v vs %+v", a, b)
+	}
+}
