@@ -50,6 +50,8 @@ commands:
             N seeded partition/gray/crash schedules through it)
   heal      crash a supervised node and watch checkpoint/restart heal it
             (-fence enables partition-tolerant quorum + fencing)
+  vchan     multiplex vchannels over broker lanes and live-migrate one
+            mid-stream (-auto enables load-driven rebalancing)
   bench     measure simulator performance; -json writes BENCH_<rev>.json
 `)
 	os.Exit(2)
@@ -78,6 +80,8 @@ func main() {
 		runChaos(os.Args[2:], nil)
 	case "heal":
 		runHeal(os.Args[2:], nil)
+	case "vchan":
+		runVChan(os.Args[2:], nil)
 	case "bench":
 		cmdBench(os.Args[2:])
 	default:
@@ -175,7 +179,7 @@ func (tc *traceCtx) finish(sys *core.System) {
 
 func cmdTrace(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	demo := fs.String("demo", "mix", "demo to trace: mix, ping, links, chaos, heal")
+	demo := fs.String("demo", "mix", "demo to trace: mix, ping, links, chaos, heal, vchan")
 	out := fs.String("out", "", "write Chrome trace_event JSON here")
 	flight := fs.String("flight", "", "write the flight-recorder text dump here")
 	ring := fs.Int("ring", 0, "bounded memory: keep only the newest N events (0 = unbounded)")
@@ -194,8 +198,10 @@ func cmdTrace(args []string) {
 		runChaos(rest, tc)
 	case "heal":
 		runHeal(rest, tc)
+	case "vchan":
+		runVChan(rest, tc)
 	default:
-		fmt.Fprintf(os.Stderr, "vorx trace: unknown demo %q (want mix, ping, links, chaos, heal)\n", *demo)
+		fmt.Fprintf(os.Stderr, "vorx trace: unknown demo %q (want mix, ping, links, chaos, heal, vchan)\n", *demo)
 		os.Exit(2)
 	}
 }
@@ -326,7 +332,7 @@ func runChaos(args []string, tc *traceCtx) {
 	schedFile := fs.String("schedule", "", "fault schedule file (default: built-in demo)")
 	detect := fs.String("detect", "", "oracle crash-detection delay, e.g. 500us (default 2ms)")
 	doVerify := fs.Bool("verify", false, "attach the invariant checker; exit 1 on any violation")
-	sweepN := fs.Int("sweep", 0, "run N seeded schedules (partitions, grays, crashes) through the checker")
+	sweepN := fs.Int("sweep", 0, "run N seeded schedules (partitions, grays, crashes) plus N rebalance storms through the checker")
 	retries := fs.Int("retries", 3, "channel write retry budget; 0 retries forever (lets writers survive a partition)")
 	comm := commFlag(fs)
 	fs.Parse(args)
@@ -334,7 +340,9 @@ func runChaos(args []string, tc *traceCtx) {
 	if *sweepN > 0 {
 		sw := vorxbench.RunChaosSweep(*seed, *sweepN)
 		sw.Format(os.Stdout)
-		if sw.Violations > 0 {
+		st := vorxbench.RunStormSweep(*seed, *sweepN)
+		st.Format(os.Stdout)
+		if sw.Violations > 0 || st.Violations > 0 {
 			os.Exit(1)
 		}
 		return

@@ -48,6 +48,15 @@ const (
 	DefaultSideBuffers = 64
 )
 
+// WindowInflightGauge is the metrics gauge tracking current sliding-
+// window occupancy. Both the channel layer (per-channel pending
+// writes) and the vchan lane layer (per-lane unacked frames) publish
+// under this name, so one dashboard signal covers window pressure at
+// either protocol generation; the vchan balancer's load decisions use
+// the same per-lane occupancy, fed through broker reports rather than
+// the host-side registry so checked runs stay deterministic.
+const WindowInflightGauge = "channels.window.inflight"
+
 // Msg is an application-level message received from a channel.
 type Msg struct {
 	Size    int
@@ -469,7 +478,7 @@ func (ch *Channel) Write(sp *kern.Subprocess, size int, payload any) error {
 		if ch.window > 1 {
 			tr.Emit(trace.KWindow, om.tid, node, ch.lane(),
 				fmt.Sprintf("credit seq=%d inflight=%d/%d", om.seq, len(ch.pending), ch.window))
-			tr.GaugeSet("channels.window.inflight", float64(len(ch.pending)))
+			tr.GaugeSet(WindowInflightGauge, float64(len(ch.pending)))
 		}
 	}
 	if v := ch.svc.verifier; v != nil {
@@ -1008,7 +1017,7 @@ func (s *Service) handleAck(m *hpc.Message) {
 				if tr := s.tracer(); tr.Enabled() {
 					tr.Emit(trace.KWindow, om.tid, s.f.Node().Name(), ch.lane(),
 						fmt.Sprintf("advance seq=%d inflight=%d/%d", a.seq, len(ch.pending), ch.window))
-					tr.GaugeSet("channels.window.inflight", float64(len(ch.pending)))
+					tr.GaugeSet(WindowInflightGauge, float64(len(ch.pending)))
 				}
 			}
 			if ch.retain {

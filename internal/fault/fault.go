@@ -30,6 +30,7 @@ import (
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/snet"
 	"hpcvorx/internal/topo"
+	"hpcvorx/internal/vchan"
 )
 
 // Record is one fault or recovery action, in virtual-time order.
@@ -52,6 +53,7 @@ type Engine struct {
 	sys *core.System
 	res *resmgr.VORX
 	fs  *dfs.Service
+	vb  *vchan.Balancer
 
 	// DetectDelay models how long the LAM takes to notice a crashed
 	// machine before survivors are told (peer-death errors, force-
@@ -114,6 +116,21 @@ func (e *Engine) BindResmgr(res *resmgr.VORX) { e.res = res }
 
 // BindDFS attaches a file service for dfs-down/dfs-up schedule ops.
 func (e *Engine) BindDFS(fs *dfs.Service) { e.fs = fs }
+
+// BindVChan attaches a virtual-channel balancer so `rebalance`
+// schedule ops resolve (and validate against the declared vchannels).
+func (e *Engine) BindVChan(b *vchan.Balancer) { e.vb = b }
+
+// RebalanceAt schedules a placement change: move the named vchannel
+// to a lane on the given node at virtual time at. The engine records
+// the balancer's verdict — a vchannel already mid-migration refuses
+// the op, deterministically.
+func (e *Engine) RebalanceAt(at sim.Duration, name string, node int) {
+	e.k.After(at, func() {
+		ok := e.vb.MigrateTo(name, node)
+		e.record("rebalance", "%s -> node%d ok=%v", name, node, ok)
+	})
+}
 
 // Records returns every fault and recovery action so far, in
 // virtual-time order.

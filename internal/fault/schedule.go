@@ -33,6 +33,7 @@ type Op struct {
 //	6ms   heal                 # merge the partition back
 //	1ms   gray node5 4.0 0.25  # slow ISR 4x, drop 25% of arrivals
 //	7ms   ungray node5
+//	3ms   rebalance t4 node9   # move vchannel t4 to a lane on node9
 //
 // A partition lists cluster groups separated by "|"; clusters in
 // different groups cannot reach each other until the matching heal.
@@ -336,6 +337,28 @@ func (e *Engine) apply(op Op) error {
 		default:
 			e.RestartHostAt(op.At, i)
 		}
+	case "rebalance":
+		if len(op.Args) != 2 {
+			return fmt.Errorf("want: rebalance <vchan> <nodeN>")
+		}
+		if e.vb == nil {
+			return fmt.Errorf("no vchan balancer bound (BindVChan)")
+		}
+		name := op.Args[0]
+		class, i, err := parseMachine(op.Args[1])
+		if err != nil {
+			return err
+		}
+		if class != "node" {
+			return fmt.Errorf("rebalance target must be a nodeN (lanes live on nodes)")
+		}
+		if err := e.checkMachine(class, i); err != nil {
+			return err
+		}
+		if !e.vb.HasVChan(name) {
+			return fmt.Errorf("unknown vchannel %q", name)
+		}
+		e.RebalanceAt(op.At, name, i)
 	case "dfs-down", "dfs-up":
 		v, err := argInts(1)
 		if err != nil {
@@ -388,6 +411,7 @@ func (e *Engine) validate(ops []Op) error {
 	lastAt := map[string]sim.Duration{} // target -> time of last op on it
 	partActive := false
 	var partAt sim.Duration
+	var partGroups [][]topo.ClusterID // groups of the active partition
 
 	touch := func(en ent, target string) error {
 		if at, ok := lastAt[target]; ok && at == en.at {
@@ -478,13 +502,63 @@ func (e *Engine) validate(ops []Op) error {
 				}
 				partActive = true
 				partAt = en.at
+				if len(en.op.Args) == 1 {
+					partGroups, _ = parseGroups(en.op.Args[0]) // apply() reports a bad spec
+				}
 			} else {
 				if !partActive {
 					return bad(en, "heal with no active partition")
 				}
 				partActive = false
+				partGroups = nil
+			}
+		case "rebalance":
+			if len(en.op.Args) != 2 || e.vb == nil {
+				continue // apply() reports the malformed op
+			}
+			name := en.op.Args[0]
+			if err := touch(en, "vchan "+name); err != nil {
+				return err
+			}
+			if !e.vb.HasVChan(name) {
+				return bad(en, "unknown vchannel %q", name)
+			}
+			class, i, err := parseMachine(en.op.Args[1])
+			if err != nil || class != "node" {
+				continue // apply() reports the bad target
+			}
+			if err := e.checkMachine(class, i); err != nil {
+				continue
+			}
+			target := en.op.Args[1]
+			if machDown[target] {
+				return bad(en, "rebalance targets crashed %s (restart it first)", target)
+			}
+			if e.vb.Started() && !e.vb.IsBroker(i) {
+				return bad(en, "%s hosts no vchan lanes (lane nodes: %v)", target, e.vb.BrokerNodes())
+			}
+			if partActive && e.sys != nil {
+				tc := e.sys.Topo.AttachmentOf(e.sys.Node(i).EP).Cluster
+				bc := e.sys.Topo.AttachmentOf(e.vb.Endpoint()).Cluster
+				if groupOf(partGroups, tc) != groupOf(partGroups, bc) {
+					return bad(en, "rebalance targets %s across the active partition cut (since %v); heal first",
+						target, partAt)
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// groupOf returns the partition-group index holding cluster c;
+// clusters left unlisted share the implicit final group.
+func groupOf(groups [][]topo.ClusterID, c topo.ClusterID) int {
+	for i, g := range groups {
+		for _, gc := range g {
+			if gc == c {
+				return i
+			}
+		}
+	}
+	return len(groups)
 }

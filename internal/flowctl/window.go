@@ -163,6 +163,16 @@ func (r *Reliable) armWindowTimer(src *snet.Station, dst int, gs *gbnSend) {
 // goBackN retransmits everything in flight starting from the lowest
 // unacked seq — the whole-window resend that makes a lost cumulative
 // ack (or a dropped run of data) recoverable with no per-seq state.
+//
+// The whole-window burst at a fixed AckTimeout is safe HERE because a
+// gbnSend covers one station pair with one small window: the resend
+// rate is bounded by window/AckTimeout per pair and cannot compound.
+// Do not copy this shape to a multiplexed path — when many logical
+// streams share one lane, a fixed timeout below the loaded RTT turns
+// whole-window resends into congestion collapse (duplicates crowd out
+// fresh frames and the acks that would cancel them). vchan's
+// retransFire is the multiplexed-scale discipline: head-only resend
+// with exponential backoff, reset on ack progress.
 func (r *Reliable) goBackN(src *snet.Station, dst int, gs *gbnSend) {
 	gs.resending = true
 	top := gs.next

@@ -350,8 +350,9 @@ type Supervisor struct {
 	stops     []func()
 	started   bool
 
-	recs     []Record
-	verifier Verifier
+	recs      []Record
+	verifier  Verifier
+	onConfirm []func(ep topo.EndpointID, lastInc uint32)
 	// outage tracks a fence-mode quorum loss across sweeps, so the
 	// regain edge can void silence accumulated while blind.
 	outage bool
@@ -385,6 +386,15 @@ type Verifier interface {
 
 // SetVerifier installs the supervision observer (nil to remove).
 func (s *Supervisor) SetVerifier(v Verifier) { s.verifier = v }
+
+// OnConfirm registers a hook invoked when a machine's death is
+// confirmed, after any fence broadcast and before channel recovery.
+// Other placement authorities bind here — the vchan balancer's
+// BrokerConfirmedDead skips its own report-silence wait when the
+// supervisor's quorum has already confirmed the machine dead.
+func (s *Supervisor) OnConfirm(fn func(ep topo.EndpointID, lastInc uint32)) {
+	s.onConfirm = append(s.onConfirm, fn)
+}
 
 // New creates a supervisor running on host (one of sys's machines,
 // conventionally a workstation) and monitoring every processing node.
@@ -663,6 +673,9 @@ func (s *Supervisor) confirm(mb *member, silent sim.Duration) {
 		if v := s.verifier; v != nil {
 			v.MachineFenced(mb.m.EP, floor)
 		}
+	}
+	for _, fn := range s.onConfirm {
+		fn(mb.m.EP, mb.lastInc)
 	}
 	failed := 0
 	for _, other := range s.sys.Machines() {

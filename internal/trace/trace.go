@@ -81,6 +81,8 @@ const (
 	KWindow // sliding-window credit consumed / advanced
 	// Incarnation fencing (PR 6).
 	KFence // frame refused by a fence, or a machine self-fencing
+	// Channel virtualization (PR 7).
+	KMigrate // vchannel placement change: mint, seal, drain, place, refuse
 	numKinds
 )
 
@@ -97,8 +99,9 @@ var kindNames = [numKinds]string{
 	KHeartbeat: "heartbeat", KCheckpoint: "checkpoint", KSuper: "super",
 	KProc:   "proc",
 	KPhase:  "phase",
-	KWindow: "window",
-	KFence:  "fence",
+	KWindow:  "window",
+	KFence:   "fence",
+	KMigrate: "migrate",
 }
 
 var kindCats = [numKinds]string{
@@ -114,8 +117,9 @@ var kindCats = [numKinds]string{
 	KHeartbeat: "super", KCheckpoint: "super", KSuper: "super",
 	KProc:   "sim",
 	KPhase:  "prof",
-	KWindow: "chan",
-	KFence:  "netif",
+	KWindow:  "chan",
+	KFence:   "netif",
+	KMigrate: "vchan",
 }
 
 // String returns the kind's stable wire name.

@@ -1,0 +1,156 @@
+package vchan_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hpcvorx/internal/core"
+	"hpcvorx/internal/kern"
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/vchan"
+	"hpcvorx/internal/verify"
+)
+
+// stormParams is one sampled point of the property space.
+type stormParams struct {
+	lanes  int // lanes per broker: 1..3
+	vchans int // declared vchannels: 1..8
+	rebals int // forced migrations during the run: 0..5
+	window int // per-lane sliding window: 1..8
+}
+
+// Generate maps testing/quick's raw randomness into the small ranges
+// the property sweeps.
+func (stormParams) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(stormParams{
+		lanes:  1 + r.Intn(3),
+		vchans: 1 + r.Intn(8),
+		rebals: r.Intn(6),
+		window: 1 + r.Intn(8),
+	})
+}
+
+// TestStormProperty is the satellite property: for every sampled
+// (lanes × vchannels × rebalance rate × window depth) point, a run
+// with that shape and mid-stream forced migrations delivers every
+// vchannel's stream exactly once in FIFO order, with the full
+// invariant checker attached and silent.
+func TestStormProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is a long test")
+	}
+	prop := func(p stormParams) bool { return stormRun(t, p) }
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stormRun executes one sampled configuration and reports whether
+// every invariant held. Failures are logged with the full parameter
+// point so the seed reproduces them.
+func stormRun(t *testing.T, p stormParams) bool {
+	const (
+		msgs    = 15
+		brokerA = 10
+		brokerB = 11
+	)
+	seed := int64(1 + p.lanes*1000 + p.vchans*100 + p.rebals*10 + p.window)
+	sys, err := core.Build(core.Config{Hosts: 1, Nodes: 12, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := vchan.Enable(sys, vchan.Config{
+		Brokers:        []int{brokerA, brokerB},
+		LanesPerBroker: p.lanes,
+		Window:         p.window,
+	})
+	type reg struct {
+		name       string
+		prod, cons *core.Machine
+	}
+	var regs []reg
+	for i := 0; i < p.vchans; i++ {
+		r := reg{
+			name: fmt.Sprintf("t%d", i),
+			prod: sys.Node((2 * i) % 8),
+			cons: sys.Node((2*i + 1) % 8),
+		}
+		fab.Declare(r.name, r.prod, r.cons)
+		regs = append(regs, r)
+	}
+	chk := verify.AttachAll(sys, fab)
+	fab.Start()
+
+	got := make(map[string][]int)
+	for _, r := range regs {
+		r := r
+		sys.Spawn(r.prod, "w/"+r.name, 1, func(sp *kern.Subprocess) {
+			w := fab.On(r.prod).OpenWriter(sp, r.name)
+			for k := 0; k < msgs; k++ {
+				if err := w.Write(sp, 64, k); err != nil {
+					return
+				}
+				sp.SleepFor(30 * sim.Microsecond)
+			}
+		})
+		sys.Spawn(r.cons, "r/"+r.name, 1, func(sp *kern.Subprocess) {
+			rd := fab.On(r.cons).OpenReader(sp, r.name)
+			for k := 0; k < msgs; k++ {
+				m, err := rd.Read(sp)
+				if err != nil {
+					return
+				}
+				got[r.name] = append(got[r.name], m.Payload.(int))
+			}
+		})
+	}
+
+	bal := fab.Balancer()
+	for k := 0; k < p.rebals; k++ {
+		k := k
+		name := regs[k%len(regs)].name
+		sys.K.After(sim.Duration(200+400*k)*sim.Microsecond, func() {
+			node, _, _, ok := bal.Placement(name)
+			if !ok {
+				return
+			}
+			target := brokerA
+			if node == brokerA {
+				target = brokerB
+			}
+			bal.MigrateTo(name, target)
+		})
+	}
+
+	sys.RunFor(120 * sim.Millisecond)
+
+	ok := true
+	if !chk.Ok() {
+		t.Logf("params %+v: checker violations:\n%v", p, chk.Violations())
+		ok = false
+	}
+	for _, r := range regs {
+		seqs := got[r.name]
+		if len(seqs) != msgs {
+			t.Logf("params %+v: %s delivered %d of %d", p, r.name, len(seqs), msgs)
+			ok = false
+			continue
+		}
+		for i, v := range seqs {
+			if v != i {
+				t.Logf("params %+v: %s position %d got %d", p, r.name, i, v)
+				ok = false
+				break
+			}
+		}
+	}
+	if bal.ActiveMigrations() != 0 {
+		t.Logf("params %+v: %d migrations never completed", p, bal.ActiveMigrations())
+		ok = false
+	}
+	return ok
+}

@@ -1,0 +1,19 @@
+package vchan
+
+import (
+	"testing"
+
+	"hpcvorx/internal/sim"
+)
+
+// TestWindowOneRegression pins the ackHigh initialization bug the
+// storm property surfaced: with a 1-deep lane window, the cumulative
+// ack for seq 0 is the writer's only source of credit, and a writer
+// whose ackHigh starts at 0 instead of -1 drops it and deadlocks
+// after one delivery per vchannel.
+func TestWindowOneRegression(t *testing.T) {
+	rig := newRig(t, 8, 4, Config{BrokerCount: 2, LanesPerBroker: 1, Window: 1})
+	got := rig.drive(15, 64, 30*sim.Microsecond)
+	rig.sys.RunFor(120 * sim.Millisecond)
+	checkFIFO(t, got, 15)
+}

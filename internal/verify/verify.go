@@ -76,6 +76,11 @@ type Checker struct {
 	floors map[uint64]map[topo.EndpointID]uint32
 	// machFloors holds the supervisor's broadcast fences.
 	machFloors map[topo.EndpointID]uint32
+	// vchans models the virtualization layer (see vchan.go).
+	vchans map[uint64]*vchanState
+	// strict flags every duplicate delivery as a violation —
+	// zero-fault runs only (see SetStrict).
+	strict bool
 
 	viols []Violation
 
@@ -90,6 +95,14 @@ type Checker struct {
 	FramesRefused  int
 	Migrations     int
 	Fences         int
+	// Virtualization-layer stats.
+	VWrites    int
+	VDelivered int
+	VDups      int
+	VAcked     int
+	VMints     int
+	VReplays   int
+	VStale     int
 }
 
 // New creates a checker clocked by k (violations are stamped with
@@ -124,10 +137,15 @@ func (c *Checker) Ok() bool { return len(c.viols) == 0 }
 
 // Summary is a one-line account of what the checker watched.
 func (c *Checker) Summary() string {
-	return fmt.Sprintf("verify: %d violations (%d writes, %d delivered, %d dups, %d acked, "+
+	s := fmt.Sprintf("verify: %d violations (%d writes, %d delivered, %d dups, %d acked, "+
 		"%d retained/%d released, %d frames ok/%d fenced, %d migrations, %d fences)",
 		len(c.viols), c.Writes, c.Delivered, c.Dups, c.Acked,
 		c.Retains, c.Releases, c.FramesAccepted, c.FramesRefused, c.Migrations, c.Fences)
+	if c.vchans != nil {
+		s += fmt.Sprintf(" [vchan: %d writes, %d delivered, %d dups, %d acks, %d terms, %d replays, %d stale-refused]",
+			c.VWrites, c.VDelivered, c.VDups, c.VAcked, c.VMints, c.VReplays, c.VStale)
+	}
+	return s
 }
 
 // Report writes the summary and every violation.
@@ -211,6 +229,9 @@ func (c *Checker) ChanDeliver(id uint64, name string, from topo.EndpointID, inc 
 	fp := fingerprint(payload)
 	if dup {
 		c.Dups++
+		if c.strict {
+			c.violate("strict-dup", "channel %q seq %d: duplicate frame under zero faults", name, seq)
+		}
 		prev, ok := ds.delivered[seq]
 		switch {
 		case !ok:

@@ -1,0 +1,45 @@
+package vorxbench
+
+import "testing"
+
+// TestStormScheduleDeterminism: the generated storm is a pure
+// function of its seed, and every generated schedule passes the
+// DSL's whole-schedule validation (StormVerifyRun panics otherwise).
+func TestStormScheduleDeterminism(t *testing.T) {
+	if a, b := StormSchedule(42), StormSchedule(42); a != b {
+		t.Fatalf("seed 42 diverged:\n%s----\n%s", a, b)
+	}
+	if a, c := StormSchedule(42), StormSchedule(43); a == c {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestStormSweepInvariantClean runs a slice of the CI storm sweep
+// in-repo: 100 seeded rebalance storms, every run invariant-checked
+// at both the channel and virtualization layers. Zero violations is
+// the bar, and the sweep must actually migrate and fence.
+func TestStormSweepInvariantClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm sweep is the long way around; CI runs the full 1000")
+	}
+	sw := RunStormSweep(1, 100)
+	if sw.Violations != 0 {
+		t.Fatalf("%d violations across seeds %v", sw.Violations, sw.BadSeeds)
+	}
+	if sw.Migrations == 0 {
+		t.Fatal("storm sweep migrated nothing — rebalance ops not biting")
+	}
+	if sw.Delivered < sw.Expected*9/10 {
+		t.Fatalf("delivered %d of %d expected — storms are killing runs outright", sw.Delivered, sw.Expected)
+	}
+}
+
+// TestStormVerifyRunDeterminism: one full storm run is bit-stable.
+func TestStormVerifyRunDeterminism(t *testing.T) {
+	a, b := StormVerifyRun(7), StormVerifyRun(7)
+	if a.Delivered != b.Delivered || a.Migrations != b.Migrations ||
+		a.Stale != b.Stale || a.Dups != b.Dups ||
+		len(a.Violations) != len(b.Violations) {
+		t.Fatalf("seed 7 diverged: %+v vs %+v", a, b)
+	}
+}
