@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"hpcvorx/internal/kern"
 	"hpcvorx/internal/netif"
 	"hpcvorx/internal/objmgr"
+	"hpcvorx/internal/obs"
 	"hpcvorx/internal/resmgr"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/stub"
@@ -45,6 +47,10 @@ commands:
   mix       run a mixed workload and print the message-trace summary
   trace     run a demo with unified tracing on; emit Chrome JSON,
             a flight-recorder dump, and the metrics table
+  analyze   latency observatory: attribute each write's virtual-time
+            latency to wire/queue/interrupt/busy/retransmit/migration
+            (-in replays a flight dump offline; -demo runs live with
+            the series sampler, -csv/-openmetrics exports)
   chaos     replay a fault schedule and print the recovery report
             (-verify attaches the invariant checker; -sweep N replays
             N seeded partition/gray/crash schedules through it)
@@ -76,6 +82,8 @@ func main() {
 		runMix(os.Args[2:], nil)
 	case "trace":
 		cmdTrace(os.Args[2:])
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
 	case "chaos":
 		runChaos(os.Args[2:], nil)
 	case "heal":
@@ -116,6 +124,19 @@ type traceCtx struct {
 	flight  string // flight-recorder text path
 	ring    int    // bounded-memory mode: keep newest N events
 	metrics bool   // print the metrics table
+
+	// Latency-observatory options (`vorx analyze -demo ...`). The
+	// analyzer and sampler ride the tracer's forward sink: pure
+	// host-side observers, so armed runs stay byte-identical to
+	// plain traced runs.
+	analyze    bool
+	series     sim.Duration // sampling period (0 = sampler default)
+	seriesRing int          // keep newest N series samples
+	csv        string       // series CSV path
+	om         string       // OpenMetrics registry dump path
+	top        int          // slowest-writes breakdown depth
+	an         *obs.Analyzer
+	smp        *obs.Sampler
 }
 
 // arm enables tracing on a freshly built system. Call before any
@@ -127,6 +148,14 @@ func (tc *traceCtx) arm(sys *core.System) {
 	sys.Trace.Enable()
 	if tc.ring > 0 {
 		sys.Trace.SetLimit(tc.ring)
+	}
+	if tc.analyze {
+		tc.an = obs.NewAnalyzer()
+		tc.smp = obs.NewSampler(sys.Trace.Metrics(), tc.series)
+		if tc.seriesRing > 0 {
+			tc.smp.SetLimit(tc.seriesRing)
+		}
+		sys.Trace.SetForward(obs.Tee(tc.an, tc.smp))
 	}
 }
 
@@ -175,6 +204,46 @@ func (tc *traceCtx) finish(sys *core.System) {
 		fmt.Println("\nmetrics at quiesce:")
 		sys.Trace.Metrics().WriteTable(os.Stdout)
 	}
+	if tc.analyze {
+		tc.smp.Flush(sys.K.Now())
+		fmt.Println()
+		rep := tc.an.Report()
+		rep.WriteTable(os.Stdout)
+		rep.WriteTop(os.Stdout, tc.top)
+		fmt.Printf("series: %d samples at %v period, %d instruments\n",
+			tc.smp.Len(), tc.smp.Period(), len(sys.Trace.Metrics().Snapshot()))
+		if tc.csv != "" {
+			writeArtifact(tc.csv, "metrics series CSV", tc.smp.WriteCSV)
+		}
+		if tc.om != "" {
+			writeArtifact(tc.om, "OpenMetrics registry", func(w io.Writer) error {
+				return obs.WriteOpenMetrics(w, sys.Trace.Metrics())
+			})
+		}
+		if err := rep.Check(); err != nil {
+			fmt.Fprintln(os.Stderr, "vorx:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeArtifact creates path and streams one export into it.
+func writeArtifact(path, what string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vorx:", err)
+		os.Exit(1)
+	}
+	// Stderr, so stdout stays a pure function of virtual time even
+	// when artifact paths differ between otherwise identical runs.
+	fmt.Fprintf(os.Stderr, "analyze: %s -> %s\n", what, path)
 }
 
 func cmdTrace(args []string) {

@@ -788,8 +788,14 @@ func (l *link) complete(t *transfer) {
 	l.busy = false
 	l.busyTime += l.ic.k.Now().Sub(l.lastStart)
 	l.count++
-	if l.ic.tracer.Enabled() {
-		l.ic.tracer.EmitSpan(trace.KHop, t.msg.Trace, "fabric", l.name, l.lastStart, msgDetail(t.msg))
+	if tr := l.ic.tracer; tr.Enabled() {
+		tr.EmitSpan(trace.KHop, t.msg.Trace, "fabric", l.name, l.lastStart, msgDetail(t.msg))
+		// Cumulative utilization: busy virtual time over elapsed
+		// virtual time, sampled at each hop completion so the series
+		// sampler can plot per-link load without touching sim state.
+		if now := l.ic.k.Now(); now > 0 {
+			tr.GaugeSet("hpc.util."+l.name, float64(l.busyTime)/float64(now))
+		}
 	}
 
 	// Free the upstream buffer the message just vacated.

@@ -242,6 +242,9 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			// into it when it finishes, with no horizon wait.
 			d.Release()
 			f.batch = append(f.batch, batchEntry{msg: msg, svc: svc})
+			if tr := node.Tracer(); tr.Enabled() {
+				tr.GaugeSet("netif.batch."+node.Name(), float64(len(f.batch)))
+			}
 			if !f.batchArmed && !f.batchPending {
 				f.batchArmed = true
 				f.batchTimer = node.Kernel().After(f.coalesceHorizon, f.fireBatch)
@@ -249,6 +252,9 @@ func Attach(node *kern.Node, ic *hpc.Interconnect, ep topo.EndpointID) *IF {
 			return
 		}
 		f.pending = append(f.pending, d)
+		if tr := node.Tracer(); tr.Enabled() {
+			tr.GaugeSet("netif.pending."+node.Name(), float64(len(f.pending)))
+		}
 		node.Interrupt(f.isrCost(svc.Cost(msg)), func() {
 			f.unpend(d)
 			d.Release() // message has been read out of the input section
@@ -285,6 +291,9 @@ func (f *IF) fireBatch() {
 	f.batchArmed = false
 	entries := f.batch
 	f.batch = nil
+	if tr := f.node.Tracer(); tr.Enabled() && len(entries) > 0 {
+		tr.GaugeSet("netif.batch."+f.node.Name(), 0)
+	}
 	if len(entries) == 0 || f.node.Crashed() {
 		return
 	}
@@ -419,6 +428,9 @@ func (f *IF) unpend(d *hpc.Delivery) {
 	for i, p := range f.pending {
 		if p == d {
 			f.pending = append(f.pending[:i], f.pending[i+1:]...)
+			if tr := f.node.Tracer(); tr.Enabled() {
+				tr.GaugeSet("netif.pending."+f.node.Name(), float64(len(f.pending)))
+			}
 			return
 		}
 	}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hpcvorx/internal/trace"
+)
+
+// WriteOpenMetrics renders a metrics Registry in OpenMetrics text
+// format: counters with a _total sample, gauges plain, histograms as
+// cumulative le-bucketed families with _sum and _count, terminated by
+// the mandatory # EOF. Instrument names are prefixed "vorx_" and
+// sanitized (dots and other invalid characters become underscores).
+// Output is deterministic: families render in name order within
+// counter/gauge/histogram sections.
+func WriteOpenMetrics(w io.Writer, reg *trace.Registry) error {
+	ew := &omWriter{w: w}
+	reg.EachCounter(func(name string, c *trace.Counter) {
+		n := omName(name)
+		ew.printf("# TYPE %s counter\n", n)
+		ew.printf("%s_total %s\n", n, omVal(c.V))
+	})
+	reg.EachGauge(func(name string, g *trace.Gauge) {
+		n := omName(name)
+		ew.printf("# TYPE %s gauge\n", n)
+		ew.printf("%s %s\n", n, omVal(g.V))
+	})
+	reg.EachHistogram(func(name string, h *trace.Histogram) {
+		n := omName(name)
+		ew.printf("# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			ew.printf("%s_bucket{le=\"%s\"} %d\n", n, omVal(bound), cum)
+		}
+		ew.printf("%s_bucket{le=\"+Inf\"} %d\n", n, h.N)
+		ew.printf("%s_sum %s\n", n, omVal(h.Sum))
+		ew.printf("%s_count %d\n", n, h.N)
+	})
+	ew.printf("# EOF\n")
+	return ew.err
+}
+
+// omName sanitizes a dotted instrument name into an OpenMetrics
+// metric name.
+func omName(name string) string {
+	var b strings.Builder
+	b.WriteString("vorx_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func omVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type omWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (o *omWriter) printf(format string, args ...any) {
+	if o.err != nil {
+		return
+	}
+	_, o.err = fmt.Fprintf(o.w, format, args...)
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hpcvorx/internal/sim"
+	"hpcvorx/internal/trace"
+)
+
+// Sample is one point of the virtual-time series: the registry's
+// flattened state as of the sample boundary.
+type Sample struct {
+	At   sim.Time
+	Snap trace.Snap
+}
+
+// Sampler snapshots a metrics Registry into a ring-buffered series at
+// a fixed virtual-time period. It implements trace.Sink and
+// piggybacks entirely on the event stream: when a forwarded event's
+// timestamp crosses the next boundary, the boundary sample is taken
+// before anything else advances. The sampler therefore never
+// schedules a simulation event — zero perturbation of virtual time —
+// and a sample reflects the registry "as of the first recorded event
+// at or after the boundary", which is a deterministic function of the
+// run.
+//
+// A nil Sampler is a no-op on every method, so call sites can thread
+// one through unconditionally.
+type Sampler struct {
+	reg     *trace.Registry
+	period  sim.Duration
+	next    sim.Time
+	limit   int
+	ring    []Sample
+	start   int
+	dropped int
+}
+
+// DefaultSamplePeriod is 1ms of virtual time.
+const DefaultSamplePeriod = sim.Duration(1e6)
+
+// NewSampler builds a sampler over reg. period <= 0 selects
+// DefaultSamplePeriod. The first sample lands at one period past
+// virtual time zero.
+func NewSampler(reg *trace.Registry, period sim.Duration) *Sampler {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	return &Sampler{reg: reg, period: period, next: sim.Time(period)}
+}
+
+// SetLimit caps retained samples at n newest (ring mode); n <= 0
+// removes the cap. Counting continues; Dropped reports evictions.
+func (s *Sampler) SetLimit(n int) {
+	if s == nil {
+		return
+	}
+	s.limit = n
+	for n > 0 && len(s.ring) > n {
+		s.evict()
+	}
+}
+
+func (s *Sampler) evict() {
+	if s.start < len(s.ring) {
+		copy(s.ring[s.start:], s.ring[s.start+1:])
+		s.ring = s.ring[:len(s.ring)-1]
+	}
+	s.dropped++
+}
+
+func (s *Sampler) push(p Sample) {
+	if s.limit > 0 && len(s.ring) >= s.limit {
+		s.evict()
+	}
+	s.ring = append(s.ring, p)
+}
+
+// TraceEvent implements trace.Sink. Cost when no boundary is crossed:
+// one comparison.
+func (s *Sampler) TraceEvent(e trace.Event) {
+	if s == nil || s.reg == nil || e.At < s.next {
+		return
+	}
+	// Several boundaries may have elapsed in an idle gap; they all
+	// see the same registry state, so snapshot once and share it
+	// (Snap is never mutated after creation).
+	snap := s.reg.Snapshot()
+	for e.At >= s.next {
+		s.push(Sample{At: s.next, Snap: snap})
+		s.next += sim.Time(s.period)
+	}
+}
+
+// Flush records a final sample at the run's end time (typically the
+// kernel's quiesce instant), so series always cover the whole run.
+func (s *Sampler) Flush(at sim.Time) {
+	if s == nil || s.reg == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	for at >= s.next {
+		s.push(Sample{At: s.next, Snap: snap})
+		s.next += sim.Time(s.period)
+	}
+	if n := len(s.ring); n == 0 || s.ring[n-1].At < at {
+		s.push(Sample{At: at, Snap: snap})
+	}
+}
+
+// Samples returns the retained series, oldest first.
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	return append([]Sample(nil), s.ring...)
+}
+
+// Len reports retained samples; Dropped reports ring evictions.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ring)
+}
+
+func (s *Sampler) Dropped() int {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// Period reports the configured sampling period.
+func (s *Sampler) Period() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.period
+}
+
+// WriteCSV dumps the series as CSV: one row per sample, one column
+// per instrument (sorted union across samples, absent-then means 0),
+// leading at_ns column. Deterministic.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		_, err := fmt.Fprintln(w, "at_ns")
+		return err
+	}
+	cols := map[string]bool{}
+	for _, p := range s.ring {
+		for k := range p.Snap {
+			cols[k] = true
+		}
+	}
+	names := make([]string, 0, len(cols))
+	for k := range cols {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "at_ns"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, p := range s.ring {
+		if _, err := fmt.Fprintf(w, "%d", int64(p.At)); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, ",%s", csvVal(p.Snap[n])); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

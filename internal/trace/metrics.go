@@ -108,6 +108,44 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.N)
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket that contains the target rank. The
+// first bucket interpolates up from the observed minimum and the
+// overflow bucket up to the observed maximum, so estimates never leave
+// [Min, Max]. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.N)
+	var cum float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := h.Min
+			if i > 0 && h.Bounds[i-1] > lo {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Max
+			if i < len(h.Bounds) && h.Bounds[i] < hi {
+				hi = h.Bounds[i]
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.Max
+}
+
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
 	c := r.counters[name]
@@ -144,6 +182,38 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// EachCounter visits every counter in name order. The sorted walk is
+// what exporters (OpenMetrics, CSV) build on: same registry, same
+// bytes.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	for _, n := range sortedKeys(r.counters) {
+		fn(n, r.counters[n])
+	}
+}
+
+// EachGauge visits every gauge in name order.
+func (r *Registry) EachGauge(fn func(name string, g *Gauge)) {
+	for _, n := range sortedKeys(r.gauges) {
+		fn(n, r.gauges[n])
+	}
+}
+
+// EachHistogram visits every histogram in name order.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	for _, n := range sortedKeys(r.hists) {
+		fn(n, r.hists[n])
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Snap is a point-in-time flattening of every instrument: counters and

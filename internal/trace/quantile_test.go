@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func newHist(bounds ...float64) *Histogram {
+	return NewRegistry(nil).Histogram("h", bounds...)
+}
+
+func TestQuantileEmptyAndExtremes(t *testing.T) {
+	h := newHist(10, 20, 30)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(25)
+	h.Observe(35)
+	if h.Quantile(0) != 5 || h.Quantile(-1) != 5 {
+		t.Fatalf("q<=0 must clamp to Min, got %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 35 || h.Quantile(2) != 35 {
+		t.Fatalf("q>=1 must clamp to Max, got %v", h.Quantile(1))
+	}
+}
+
+func TestQuantileInterpolatesWithinBuckets(t *testing.T) {
+	h := newHist(10, 20, 30)
+	for _, v := range []float64{5, 15, 25, 35} {
+		h.Observe(v)
+	}
+	// rank 2 of 4 lands exactly at the top of bucket (10,20].
+	if got := h.Quantile(0.5); got != 20 {
+		t.Fatalf("p50 = %v, want 20", got)
+	}
+	// rank 1 of 4: top of the first bucket, which interpolates up
+	// from the observed minimum (5), not from 0.
+	if got := h.Quantile(0.25); got != 10 {
+		t.Fatalf("p25 = %v, want 10", got)
+	}
+	// rank 0.5 of 4: halfway into the first bucket: 5 + (10-5)*0.5.
+	if got := h.Quantile(0.125); got != 7.5 {
+		t.Fatalf("p12.5 = %v, want 7.5", got)
+	}
+	// Deep tail lands in the overflow bucket, which interpolates up
+	// to the observed maximum: 30 + (35-30)*(3.996-3)/1.
+	if got, want := h.Quantile(0.999), 30+5*0.996; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p99.9 = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileDegenerateDistributions(t *testing.T) {
+	// All samples identical: every quantile is that value.
+	h := newHist(10, 20)
+	for i := 0; i < 5; i++ {
+		h.Observe(15)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		if got := h.Quantile(q); got != 15 {
+			t.Fatalf("constant distribution: q%.3f = %v, want 15", q, got)
+		}
+	}
+	// Single sample above every bound.
+	h2 := newHist(10)
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got < 10 || got > 100 {
+		t.Fatalf("overflow-only p50 = %v, outside [10,100]", got)
+	}
+}
+
+func TestQuantileMonotonicInQ(t *testing.T) {
+	h := newHist(DefaultBounds...)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 997)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotonic: q=%.2f gives %v after %v", q, v, prev)
+		}
+		if v < h.Min || v > h.Max {
+			t.Fatalf("q=%.2f gives %v outside [%v,%v]", q, v, h.Min, h.Max)
+		}
+		prev = v
+	}
+	// Sanity: p50 of a uniform 997..997000 spread sits mid-range
+	// (bucket interpolation, so approximately).
+	p50 := h.Quantile(0.5)
+	if p50 < 300e3 || p50 > 700e3 {
+		t.Fatalf("uniform p50 = %v, expected mid-range", p50)
+	}
+}

@@ -20,19 +20,19 @@ func E15Pipelined() *Table {
 	t := &Table{
 		ID:     "E15",
 		Title:  "Pipelined fast path: window x depth x coalesce (virtual time)",
-		Header: []string{"workload", "window", "depth", "coalesce", "result", "speedup"},
+		Header: []string{"workload", "window", "depth", "coalesce", "result", "speedup", "wire/queue/intr (%)"},
 	}
 
 	// Large-write stream: 64 writes of 8 KB (8 fragments each) down one
 	// channel. Classic stop-and-waits a full kernel round-trip per
-	// write; the window keeps fragment trains on the wire.
+	// write; the window keeps fragment trains on the wire. Each run
+	// carries the critical-path analyzer (virtual time is unperturbed;
+	// E18 asserts that) so every row also shows where the latency went.
 	const size, msgs = 8192, 64
-	stream := func(cp core.CommProfile) sim.Duration {
-		sys, err := core.Build(core.Config{Nodes: 2, Seed: 1, Comm: cp})
-		if err != nil {
-			panic(err)
-		}
-		return workload.Stream(sys, size, msgs)
+	stream := func(cp core.CommProfile) e18point {
+		return e18Run(core.Config{Nodes: 2, Seed: 1, Comm: cp}, true, func(sys *core.System) sim.Duration {
+			return workload.Stream(sys, size, msgs)
+		})
 	}
 	type cfg struct {
 		coalesce string
@@ -51,7 +51,8 @@ func E15Pipelined() *Table {
 	}
 	var base float64
 	for _, c := range cases {
-		el := stream(c.cp)
+		p := stream(c.cp)
+		el := p.mk
 		mbps := float64(size*msgs) / el.Seconds() / 1e6
 		perMsg := el.Microseconds() / msgs
 		if base == 0 {
@@ -64,6 +65,7 @@ func E15Pipelined() *Table {
 			c.coalesce,
 			fmt.Sprintf("%.2f MB/s (%.0f µs/msg)", mbps, perMsg),
 			fmt.Sprintf("%.2fx", base/el.Seconds()),
+			decompCell(p.rep),
 		)
 	}
 
@@ -71,20 +73,19 @@ func E15Pipelined() *Table {
 	// Jacobi iteration — the workload whose per-message software
 	// overhead drove the paper to UDOs.
 	const gridN, procs, iters = 16, 4, 12
-	solve := func(cp core.CommProfile, tr spice.Transport) sim.Duration {
-		sys, err := core.Build(core.Config{Nodes: procs, Seed: 1, Comm: cp})
-		if err != nil {
-			panic(err)
-		}
-		g := spice.NewGrid(gridN)
-		res, _, err := spice.Solve(sys, g, procs, iters, tr)
-		if err != nil {
-			panic(err)
-		}
-		return res.Elapsed
+	solve := func(cp core.CommProfile, tr spice.Transport) e18point {
+		return e18Run(core.Config{Nodes: procs, Seed: 1, Comm: cp}, true, func(sys *core.System) sim.Duration {
+			g := spice.NewGrid(gridN)
+			res, _, err := spice.Solve(sys, g, procs, iters, tr)
+			if err != nil {
+				panic(err)
+			}
+			return res.Elapsed
+		})
 	}
 	spiceRow := func(label string, cp core.CommProfile, tr spice.Transport, base sim.Duration) sim.Duration {
-		el := solve(cp, tr)
+		p := solve(cp, tr)
+		el := p.mk
 		if base == 0 {
 			base = el
 		}
@@ -95,6 +96,7 @@ func E15Pipelined() *Table {
 			coalesceLabel(cp),
 			fmt.Sprintf("%.2f ms solve", el.Milliseconds()),
 			fmt.Sprintf("%.2fx", base.Seconds()/el.Seconds()),
+			decompCell(p.rep),
 		)
 		return base
 	}
@@ -102,6 +104,8 @@ func E15Pipelined() *Table {
 	spiceRow("chan pipelined", core.Pipelined(), spice.Channels, spiceBase)
 	spiceRow("udo classic", core.Classic(), spice.UDO, spiceBase)
 	t.Note("stream speedups are vs the classic stop-and-wait row; spice speedups vs chan classic")
+	t.Note("wire/queue/intr is the critical-path analyzer's latency decomposition (E18); " +
+		"the UDO transport bypasses channel writes, so it has nothing to attribute")
 	return t
 }
 

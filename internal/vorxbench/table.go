@@ -102,6 +102,7 @@ func All() []*Table {
 		E15Pipelined(),
 		E16Partitions(),
 		E17VChan(),
+		E18LatencyObservatory(),
 	}
 }
 
@@ -118,7 +119,7 @@ func ByID(id string) *Table {
 		"A6": A6SpiceTransport, "A7": A7CEMUScaling,
 		"F2": F2Scaling, "E12": E12FaultStorm, "E13": E13Supervision,
 		"E14": E14TracingOverhead, "E15": E15Pipelined, "E16": E16Partitions,
-		"E17": E17VChan,
+		"E17": E17VChan, "E18": E18LatencyObservatory,
 	}
 	if g, ok := gens[strings.ToUpper(id)]; ok {
 		return g()
@@ -128,7 +129,7 @@ func ByID(id string) *Table {
 
 // IDs lists the experiment ids in paper order.
 func IDs() []string {
-	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13", "E14", "E15", "E16", "E17"}
+	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 }
 
 func us(f float64) string   { return fmt.Sprintf("%.0f", f) }

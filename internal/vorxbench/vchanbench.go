@@ -6,6 +6,7 @@ import (
 
 	"hpcvorx/internal/core"
 	"hpcvorx/internal/kern"
+	"hpcvorx/internal/obs"
 	"hpcvorx/internal/sim"
 	"hpcvorx/internal/vchan"
 )
@@ -27,6 +28,7 @@ type e17Metrics struct {
 	gapControl sim.Duration // largest gap on any undisturbed tenant
 	stale      int          // stale-term frames structurally refused
 	migrations int
+	rep        *obs.Report // critical-path attribution over every vchan write
 }
 
 // e17Run packs perLane tenants onto each of two single-lane brokers
@@ -45,6 +47,12 @@ func e17Run(perLane int) e17Metrics {
 	if err != nil {
 		panic(err)
 	}
+	// The critical-path analyzer rides the tracer's forward sink;
+	// vchan threads its write IDs through the fabric, so every tenant
+	// write gets a full decomposition — including the migration pause.
+	sys.Trace.Enable()
+	an := obs.NewAnalyzer()
+	sys.Trace.SetForward(an)
 	fab := vchan.Enable(sys, vchan.Config{
 		Brokers:        []int{13, 14},
 		LanesPerBroker: 1,
@@ -126,6 +134,7 @@ func e17Run(perLane int) e17Metrics {
 	for _, mach := range sys.Machines() {
 		m.stale += fab.On(mach).StaleRefused
 	}
+	m.rep = an.Report()
 	return m
 }
 
@@ -162,7 +171,8 @@ func E17VChan() *Table {
 		ID:    "E17",
 		Title: "channel virtualization: tenants per lane vs p99 latency and migration gap",
 		Header: []string{"tenants/lane", "writes", "p99 all (us)", "p99 moved (us)",
-			"moved gap (us)", "control gap (us)", "stale refused"},
+			"moved gap (us)", "control gap (us)", "stale refused",
+			"wire/queue/intr (%)", "recovery (%)"},
 	}
 	for _, perLane := range []int{1, 2, 4, 8} {
 		m := e17Run(perLane)
@@ -174,7 +184,12 @@ func E17VChan() *Table {
 			us(float64(m.gapMoved)/float64(sim.Microsecond)),
 			us(float64(m.gapControl)/float64(sim.Microsecond)),
 			fmt.Sprint(m.stale),
+			decompCell(m.rep),
+			e18Recovery(m.rep),
 		)
+		if err := m.rep.Check(); err != nil {
+			t.Note("tenants/lane %d: attribution not exact: %v", perLane, err)
+		}
 		if m.migrations != 1 {
 			t.Note("tenants/lane %d: expected exactly 1 migration, saw %d", perLane, m.migrations)
 		}
@@ -184,5 +199,7 @@ func E17VChan() *Table {
 	}
 	t.Note("two single-lane brokers; t0 force-migrated at 3ms; payloads carry send time, so p99 includes window blocking")
 	t.Note("moved gap vs control gap separates the drain-and-replay pause from ordinary lane contention")
+	t.Note("wire/queue/intr and recovery are the critical-path analyzer's shares of attributed " +
+		"virtual time (E18); recovery = busy + retransmit + migration")
 	return t
 }
