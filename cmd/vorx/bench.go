@@ -68,6 +68,20 @@ type benchReport struct {
 	CommClassicEventsPerMsg   float64 `json:"comm_classic_events_per_msg"`
 	CommPipelinedEventsPerMsg float64 `json:"comm_pipelined_events_per_msg"`
 	CommVirtualSpeedup        float64 `json:"comm_virtual_speedup"`
+
+	// Sharded kernel: one simulation split over shard threads with
+	// conservative lookahead (E19's cross-cluster workload), serial vs
+	// -shards. Speedup is honest wall clock: on a host without spare
+	// cores the shards serialize and the synchronization is pure
+	// overhead, exactly as the suite's Workers clamp reports.
+	ShardShards        int     `json:"shard_shards"`
+	ShardEvents        uint64  `json:"shard_events"`
+	ShardCrossPosts    uint64  `json:"shard_cross_posts"`
+	ShardHandoffs      int     `json:"shard_handoffs"`
+	ShardSerialMs      float64 `json:"shard_serial_ms"`
+	ShardParallelMs    float64 `json:"shard_parallel_ms"`
+	ShardSpeedup       float64 `json:"shard_speedup"`
+	ShardByteIdentical bool    `json:"shard_byte_identical"`
 }
 
 func cmdBench(args []string) {
@@ -80,6 +94,7 @@ func cmdBench(args []string) {
 	suite := fs.String("suite", "", "comma-separated suite ids (default: all deterministic experiments)")
 	seeds := fs.Int("seeds", 8, "seeded replications of the macro workload")
 	workers := fs.Int("workers", 0, "worker-pool size for parallel replication; 0 = one per CPU")
+	shards := fs.Int("shards", 4, "shard count for the sharded-kernel benchmark")
 	fs.Parse(args)
 
 	r := benchReport{
@@ -181,8 +196,34 @@ func cmdBench(args []string) {
 		*seeds, serialWall.Round(time.Millisecond), r.SuiteWorkers, parWall.Round(time.Millisecond),
 		r.ReplSpeedup, r.ReplByteIdentical)
 
+	// 6. Sharded kernel: the same simulation once on the serial kernel
+	// and once split over -shards threads with conservative lookahead.
+	// The digests must match byte for byte — that is the parallel
+	// kernel's contract, not a statistical property.
+	serialDigest, shEvents, _, _, shSerial := vorxbench.ShardBench(1)
+	splitDigest, _, shCross, shHandoffs, shSplit := vorxbench.ShardBench(*shards)
+	r.ShardShards = *shards
+	r.ShardEvents = shEvents
+	r.ShardCrossPosts = shCross
+	r.ShardHandoffs = shHandoffs
+	r.ShardSerialMs = float64(shSerial.Microseconds()) / 1000
+	r.ShardParallelMs = float64(shSplit.Microseconds()) / 1000
+	r.ShardSpeedup = shSerial.Seconds() / shSplit.Seconds()
+	r.ShardByteIdentical = serialDigest == splitDigest
+	shNote := ""
+	if r.ShardSpeedup < 1 && runtime.NumCPU() < *shards {
+		shNote = fmt.Sprintf("; %d CPUs for %d shards: synchronization overhead, no parallelism", runtime.NumCPU(), *shards)
+	}
+	fmt.Printf("sharded:     %d events  serial %v, %d shards %v  (%.2fx, %d cross posts, %d handoffs, byte-identical: %v%s)\n",
+		r.ShardEvents, shSerial.Round(time.Millisecond), *shards, shSplit.Round(time.Millisecond),
+		r.ShardSpeedup, r.ShardCrossPosts, r.ShardHandoffs, r.ShardByteIdentical, shNote)
+
 	if !r.SuiteByteIdentical || !r.ReplByteIdentical {
 		fmt.Fprintln(os.Stderr, "vorx bench: parallel replication diverged from serial output")
+		defer os.Exit(1)
+	}
+	if !r.ShardByteIdentical {
+		fmt.Fprintln(os.Stderr, "vorx bench: sharded run diverged from the serial kernel")
 		defer os.Exit(1)
 	}
 

@@ -53,12 +53,17 @@ commands:
             the series sampler, -csv/-openmetrics exports)
   chaos     replay a fault schedule and print the recovery report
             (-verify attaches the invariant checker; -sweep N replays
-            N seeded partition/gray/crash schedules through it)
+            N seeded partition/gray/crash schedules through it;
+            -shardsweep N byte-diffs sharded vs serial outcomes)
   heal      crash a supervised node and watch checkpoint/restart heal it
             (-fence enables partition-tolerant quorum + fencing)
   vchan     multiplex vchannels over broker lanes and live-migrate one
             mid-stream (-auto enables load-driven rebalancing)
   bench     measure simulator performance; -json writes BENCH_<rev>.json
+
+every command takes -shards N; only bench and chaos -shardsweep run a
+simulation split over parallel shards (conservative lookahead), the
+demos clamp to the serial kernel with a note
 `)
 	os.Exit(2)
 }
@@ -75,7 +80,7 @@ func main() {
 	case "download":
 		cmdDownload(os.Args[2:])
 	case "alloc":
-		vorxbench.E9Allocation().Format(os.Stdout)
+		cmdAlloc(os.Args[2:])
 	case "links":
 		runLinks(os.Args[2:], nil)
 	case "mix":
@@ -112,6 +117,24 @@ func commFlag(fs *flag.FlagSet) func() core.CommProfile {
 			fmt.Fprintf(os.Stderr, "vorx: unknown -comm profile %q (want classic or pipelined)\n", *name)
 			os.Exit(2)
 			panic("unreachable")
+		}
+	}
+}
+
+// shardsFlag registers -shards on fs for a command whose demo runs on
+// the serial kernel only: tracing, link faults, partitions, and the
+// supervision oracle all need features the sharded build rejects
+// (sharded systems keep tracers disabled and panic on link faults).
+// Call the returned resolver after parsing: it warns when a split was
+// asked for and the command falls back to one shard — the same honest
+// clamp `vorx bench` applies to its Workers pool on small hosts.
+// Commands that genuinely shard (`vorx bench`, `vorx chaos
+// -shardsweep`) register their own -shards instead.
+func shardsFlag(fs *flag.FlagSet, why string) func() {
+	n := fs.Int("shards", 1, "parallel simulation shards (this command clamps to 1)")
+	return func() {
+		if *n > 1 {
+			fmt.Fprintf(os.Stderr, "vorx: -shards %d: %s; running the serial kernel\n", *n, why)
 		}
 	}
 }
@@ -275,10 +298,19 @@ func cmdTrace(args []string) {
 	}
 }
 
+func cmdAlloc(args []string) {
+	fs := flag.NewFlagSet("alloc", flag.ExitOnError)
+	serialOnly := shardsFlag(fs, "the allocation walkthrough replays experiment E9 serially")
+	fs.Parse(args)
+	serialOnly()
+	vorxbench.E9Allocation().Format(os.Stdout)
+}
+
 func cmdTopo(args []string) {
 	fs := flag.NewFlagSet("topo", flag.ExitOnError)
 	hosts := fs.Int("hosts", 10, "host workstations")
 	nodes := fs.Int("nodes", 70, "processing nodes")
+	shards := fs.Int("shards", 0, "also print the cluster-to-shard partition for this shard count (0 = skip)")
 	fs.Parse(args)
 	total := *hosts + *nodes
 	var (
@@ -311,6 +343,22 @@ func cmdTopo(args []string) {
 	if tp.Clusters() > 8 {
 		fmt.Printf("... and %d more clusters\n", tp.Clusters()-8)
 	}
+	if *shards > 0 {
+		part := topo.PartitionClusters(tp, *shards)
+		fmt.Printf("\nsharded simulation partition (-shards %d -> %d):\n", *shards, part.Shards())
+		for s := 0; s < part.Shards(); s++ {
+			var lo, hi = -1, -1
+			for c := 0; c < tp.Clusters(); c++ {
+				if part.OfCluster(topo.ClusterID(c)) == s {
+					if lo < 0 {
+						lo = c
+					}
+					hi = c
+				}
+			}
+			fmt.Printf("  shard %d: clusters %d..%d\n", s, lo, hi)
+		}
+	}
 }
 
 func runPing(args []string, tc *traceCtx) {
@@ -318,7 +366,9 @@ func runPing(args []string, tc *traceCtx) {
 	size := fs.Int("size", 4, "message size in bytes")
 	rounds := fs.Int("rounds", 1000, "messages to send")
 	comm := commFlag(fs)
+	serialOnly := shardsFlag(fs, "the two-node latency demo is a single cluster with nothing to shard")
 	fs.Parse(args)
+	serialOnly()
 	sys, err := core.Build(core.Config{Nodes: 2, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
@@ -336,7 +386,9 @@ func runLinks(args []string, tc *traceCtx) {
 	nodes := fs.Int("nodes", 20, "processing nodes")
 	msgs := fs.Int("msgs", 10, "messages per sender")
 	comm := commFlag(fs)
+	serialOnly := shardsFlag(fs, "per-link statistics come from the serial fabric")
 	fs.Parse(args)
+	serialOnly()
 	sys, err := core.Build(core.Config{Nodes: *nodes, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
@@ -364,7 +416,9 @@ func runMix(args []string, tc *traceCtx) {
 	fs := flag.NewFlagSet("mix", flag.ExitOnError)
 	nodes := fs.Int("nodes", 6, "processing nodes")
 	comm := commFlag(fs)
+	serialOnly := shardsFlag(fs, "the message-trace summary needs the serial kernel")
 	fs.Parse(args)
+	serialOnly()
 	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1, Comm: comm()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)
@@ -402,9 +456,25 @@ func runChaos(args []string, tc *traceCtx) {
 	detect := fs.String("detect", "", "oracle crash-detection delay, e.g. 500us (default 2ms)")
 	doVerify := fs.Bool("verify", false, "attach the invariant checker; exit 1 on any violation")
 	sweepN := fs.Int("sweep", 0, "run N seeded schedules (partitions, grays, crashes) plus N rebalance storms through the checker")
+	shardSweepN := fs.Int("shardsweep", 0, "run N seeded crash/gray schedules at shards=1 and -shards and byte-diff the outcomes; exit 1 on any divergence")
+	shards := fs.Int("shards", 4, "parallel shard count the -shardsweep runs split over (schedule replay itself clamps to the serial kernel)")
 	retries := fs.Int("retries", 3, "channel write retry budget; 0 retries forever (lets writers survive a partition)")
 	comm := commFlag(fs)
 	fs.Parse(args)
+
+	if *shardSweepN > 0 {
+		sw := vorxbench.RunShardSweep(*seed, *shardSweepN, *shards)
+		sw.Format(os.Stdout)
+		if !sw.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+	if *shards != 4 {
+		// Replayed schedules partition clusters and cut links —
+		// zero-lookahead faults the sharded fabric rejects.
+		fmt.Fprintf(os.Stderr, "vorx: -shards only applies to -shardsweep; schedule replay runs the serial kernel\n")
+	}
 
 	if *sweepN > 0 {
 		sw := vorxbench.RunChaosSweep(*seed, *sweepN)
@@ -565,7 +635,9 @@ func runHeal(args []string, tc *traceCtx) {
 	horizon := fs.String("horizon", "80ms", "supervision horizon (beacons stop here)")
 	fence := fs.Bool("fence", false, "partition-tolerant supervision: quorum-gated confirms plus incarnation fencing")
 	comm := commFlag(fs)
+	serialOnly := shardsFlag(fs, "the supervision demo drives the serial System")
 	fs.Parse(args)
+	serialOnly()
 	if *pairs < 1 || *nodes < 2*(*pairs)+1 {
 		fmt.Fprintf(os.Stderr, "vorx: need at least %d nodes for %d pairs plus a spare\n", 2*(*pairs)+1, *pairs)
 		os.Exit(1)
@@ -694,7 +766,9 @@ func cmdDownload(args []string) {
 	fs := flag.NewFlagSet("download", flag.ExitOnError)
 	nodes := fs.Int("nodes", 70, "processes to start")
 	tree := fs.Bool("tree", false, "use the shared-stub tree download")
+	serialOnly := shardsFlag(fs, "the download demo drives the serial System")
 	fs.Parse(args)
+	serialOnly()
 	sys, err := core.Build(core.Config{Hosts: 1, Nodes: *nodes, Seed: 1})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vorx:", err)

@@ -42,6 +42,11 @@ type Config struct {
 	CentralizedManager bool
 	// Seed feeds the simulation's deterministic random source.
 	Seed int64
+	// Shards is the number of parallel simulation shards for
+	// BuildSharded: 0 means one shard per topology cluster, 1 a single
+	// serial-equivalent shard; the count is clamped to the cluster
+	// count. Build ignores it.
+	Shards int
 	// Costs overrides the calibrated cost model (nil = defaults).
 	Costs *m68k.Costs
 	// Comm selects the communication profile. The zero value is the

@@ -104,6 +104,10 @@ type Stats struct {
 	// Reroutes counts transfers that were re-pathed around a failed
 	// cube link after they had already been committed to a route.
 	Reroutes int
+	// HandoffsOut/HandoffsIn count transfers that crossed a shard
+	// boundary over a cube link (see shard.go); zero when unsharded.
+	HandoffsOut int
+	HandoffsIn  int
 }
 
 // Interconnect simulates one HPC fabric.
@@ -137,6 +141,13 @@ type Interconnect struct {
 	// once, at first construction, and survive reuse.
 	tPool   sync.Pool
 	msgPool sync.Pool
+
+	// Sharded execution (see shard.go): this fabric's shard index, the
+	// cluster→shard map, and the peer fabrics, all nil/zero when the
+	// simulation is unsharded.
+	shardSelf int
+	shardOf   []int
+	peers     []*Interconnect
 
 	stats  Stats
 	tracer *trace.Tracer
@@ -268,6 +279,12 @@ func (ic *Interconnect) SetDeliver(e topo.EndpointID, fn DeliverFunc) {
 // already on the wire completes normally. Repairing a link restarts
 // its queue. Unknown links are ignored.
 func (ic *Interconnect) SetCubeLinkDown(a, b topo.ClusterID, down bool) {
+	if ic.sharded() {
+		// Rerouting around a failed link is a zero-lookahead operation
+		// (the detour decision must take effect at the failing instant on
+		// every shard), which the conservative protocol cannot fund.
+		panic("hpc: cube link faults are not supported in sharded mode")
+	}
 	ic.setDirDown(a, b, down)
 	ic.setDirDown(b, a, down)
 }
@@ -507,6 +524,7 @@ func (m *mcastRoot) fanOut(root *transfer) {
 				m.onDelivered(d, mm)
 			}
 		}}
+		bt.notifySh = int32(m.ic.shardSelf)
 		bt.links = links
 		bt.holder = nil // replication buffer ownership handled by root
 		bt.onLeftFirstBuffer = func() {
@@ -639,6 +657,16 @@ type transfer struct {
 	releaseFn  func() // bound once: free input section, recycle
 	dlv        Delivery
 
+	// Sharded execution (see shard.go). onFirstHopStart fires once, at
+	// the start of this transfer's first transmission, with the hop's
+	// completion time — the pre-announcement hook that funds cross-shard
+	// signals with a full hop of lookahead. notifySh is the shard whose
+	// state the onDelivered callback closes over; when it is not the
+	// delivering shard, the completion notice is posted back instead of
+	// called.
+	onFirstHopStart func(doneAt sim.Time)
+	notifySh        int32
+
 	doneHops bool // delivery (or terminal callback) has finished
 	released bool // the endpoint freed the input section
 	recycled bool
@@ -664,6 +692,7 @@ func (ic *Interconnect) newTransfer() *transfer {
 	t.doneHops = false
 	t.released = false
 	t.recycled = false
+	t.notifySh = int32(ic.shardSelf)
 	return t
 }
 
@@ -686,6 +715,8 @@ func (t *transfer) maybeRecycle() {
 	t.curLink = nil
 	t.lastLink = nil
 	t.dlv = Delivery{}
+	t.onFirstHopStart = nil
+	t.notifySh = int32(t.ic.shardSelf)
 	t.ic.tPool.Put(t)
 }
 
@@ -771,9 +802,23 @@ func (l *link) tryStart() {
 		wire = sim.Duration(float64(wire) * l.slowdown)
 	}
 	dur := l.ic.costs.HopFixed + wire + l.propagation
+	t.ic = l.ic
+	// Sharded execution: the hop's completion time is known now, a full
+	// HopFixed (= the group lookahead) ahead, so every cross-shard
+	// consequence of this transmission is announced at its start.
+	if t.onFirstHopStart != nil {
+		t.onFirstHopStart(l.ic.k.Now().Add(dur))
+		t.onFirstHopStart = nil
+	}
+	if l.isCube && l.ic.shardOf != nil && l.ic.shardOf[l.to] != l.ic.shardSelf {
+		l.ic.handoff(l, t, dur)
+		return
+	}
+	if t.onDelivered != nil && int(t.notifySh) != l.ic.shardSelf && t.pos == len(t.links)-1 {
+		l.ic.carryBack(t, l.ic.k.Now().Add(dur))
+	}
 	// Hand-built transfers (multicast) bind their thunk on first use;
 	// pooled shells carry one from birth.
-	t.ic = l.ic
 	if t.completeFn == nil {
 		tt := t
 		t.completeFn = func() { tt.curLink.complete(tt) }

@@ -122,6 +122,21 @@ type openRep struct {
 // a manager (one entry = Meglos-style centralized; all entries =
 // VORX-style fully distributed).
 func New(all []*netif.IF, managerEps []topo.EndpointID) *Manager {
+	return build(all, managerEps, false)
+}
+
+// NewShardView creates one simulation shard's view of the
+// object-manager service: names hash over the full managerEps list —
+// identical on every shard, so every shard agrees on placement — but
+// only the manager endpoints present in all (this shard's interfaces)
+// are served locally. Opens addressed to a foreign manager travel the
+// fabric to the shard that owns it; its state keeps the global index,
+// so the channel IDs it mints match the serial build byte-for-byte.
+func NewShardView(all []*netif.IF, managerEps []topo.EndpointID) *Manager {
+	return build(all, managerEps, true)
+}
+
+func build(all []*netif.IF, managerEps []topo.EndpointID, partial bool) *Manager {
 	if len(managerEps) == 0 {
 		panic("objmgr: need at least one manager endpoint")
 	}
@@ -141,6 +156,9 @@ func New(all []*netif.IF, managerEps []topo.EndpointID) *Manager {
 	for i, ep := range managerEps {
 		f, ok := m.ifs[ep]
 		if !ok {
+			if partial {
+				continue // a foreign shard serves this manager
+			}
 			panic(fmt.Sprintf("objmgr: manager endpoint %d has no interface", ep))
 		}
 		st := &mgrState{idx: i, pending: make(map[string]*nameQueue)}

@@ -185,6 +185,11 @@ func (k *Kernel) recycle(ev *event) {
 // a total order, so the rebuilt heap pops in exactly the order the old
 // one would have; the FIFO keeps its relative order.
 func (k *Kernel) compact() {
+	swept := k.nCanceled
+	k.compactions++
+	if cp, ok := k.probe.(CompactionProbe); ok {
+		cp.QueueCompaction(k.now, swept)
+	}
 	h := k.events
 	w := 0
 	for _, ev := range h {

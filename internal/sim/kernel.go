@@ -42,6 +42,16 @@ type Kernel struct {
 	nextID  int
 	stopped bool
 	probe   Probe
+
+	// compactions counts lazy-cancel sweeps over the kernel's lifetime
+	// (see event.go); exposed so the trace registry can verify the
+	// compaction policy under cancel-heavy loads.
+	compactions uint64
+
+	// Sharded execution (see shard.go): the group this kernel belongs
+	// to and its shard index, nil/0 for a standalone kernel.
+	group *Group
+	shard int
 }
 
 // Probe observes process lifecycle transitions. It exists so a tracing
@@ -51,8 +61,19 @@ type Probe interface {
 	ProcEvent(at Time, proc string, what string)
 }
 
+// CompactionProbe is an optional extension of Probe: a probe that also
+// implements it observes every lazy-cancel compaction sweep (at the
+// virtual time it ran, with the number of canceled shells swept).
+type CompactionProbe interface {
+	QueueCompaction(at Time, swept int)
+}
+
 // SetProbe installs (or, with nil, removes) the lifecycle probe.
 func (k *Kernel) SetProbe(p Probe) { k.probe = p }
+
+// Compactions returns how many lazy-cancel compaction sweeps the
+// kernel has performed over its lifetime.
+func (k *Kernel) Compactions() uint64 { return k.compactions }
 
 // NewKernel returns a kernel with its virtual clock at zero. The seed
 // feeds the kernel's random source, which is used only by components

@@ -1,0 +1,742 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded virtual time: a Group couples N kernels (shards), each with
+// its own event heap and virtual clock, and runs them on their own OS
+// threads under conservative (Chandy-Misra-Bryant style) synchronization.
+//
+// The contract with the model layer is a single primitive: an event
+// running on shard s may Post a callback to shard d, but only at a
+// timestamp at least `lookahead` beyond s's current clock. The
+// lookahead is physical: in the HPC cost model every cross-cluster
+// signal rides a cube hop that costs at minimum HopFixed (plus
+// 0.05 µs/byte of wire time), so a shard's present can never influence
+// a neighbor's past-or-present. That bound is what lets a shard
+// dispatch ahead without ever having to roll back.
+//
+// Safety ("no event from the future"): shard d only dispatches an
+// event at time t when t < safe(d), where safe(d) is the maximum of
+// two independent lower bounds on every future cross-shard arrival:
+//
+//   - per-pair horizons: each shard s continuously announces
+//     H(s→d) = min(next dispatch time of s) + lookahead, the classic
+//     null-message promise, updated with every batch and re-announced
+//     as a pure wakeup when s has no traffic to piggyback it on;
+//   - the global floor: G + lookahead, where G is the minimum
+//     timestamp of any undispatched event anywhere (local heaps,
+//     staged crosses, and in-flight mailbox entries). Anything posted
+//     in the future originates from a dispatch at ≥ G, so it lands at
+//     ≥ G + lookahead. The floor is what makes progress unconditional:
+//     the shard holding the globally-earliest event always finds
+//     G + lookahead > G and can dispatch it, so the horizon exchange
+//     can never deadlock or creep in lookahead-sized steps.
+//
+// Determinism: cross-shard events are merged not in wall-clock arrival
+// order but by the total key (at, source shard, per-pair sequence),
+// and at equal timestamps staged crosses dispatch before local events.
+// Every run of the same program therefore dispatches the same events
+// in the same order on every shard, regardless of GOMAXPROCS or
+// scheduling jitter.
+type Group struct {
+	kernels []*Kernel
+	n       int
+	look    Duration
+
+	// mail[s][d] is the bounded SPSC mailbox from shard s to shard d
+	// (nil on the diagonal). staging[d] is the receive-side merge heap,
+	// touched only by shard d's loop.
+	mail    [][]*mailbox
+	staging []crossHeap
+
+	// localMin[i] is shard i's published earliest undispatched event
+	// (its heap/now-queue front or staged cross), MaxInt64 when none.
+	// Together with the mailboxes' minPending these define G.
+	localMin []atomic.Int64
+	// horizon[s*n+d] is H(s→d): shard s's promise that no future post
+	// to d arrives before it.
+	horizon []atomic.Int64
+
+	wake []chan struct{}
+
+	stopFlag atomic.Bool
+
+	// Idle flags are atomics read lock-free by notifiers: a shard that
+	// publishes new state (horizon raise, localMin raise, post) only
+	// wakes peers currently parked in select. The handshake is sound
+	// because enterIdle sets the flag and then re-checks for work under
+	// detMu: either the re-check sees the notifier's store, or the
+	// store came later and the notifier sees the flag.
+	detMu    sync.Mutex
+	idle     []atomic.Bool
+	nIdle    int
+	finished bool
+	done     chan struct{}
+
+	// Cross-traffic accounting, owned by the respective shard loops and
+	// read only after a run joins.
+	posted     []uint64
+	dispatched []uint64
+}
+
+const (
+	noEvent     = int64(math.MaxInt64)
+	mailboxCap  = 1 << 15
+	maxDeadline = Time(math.MaxInt64)
+)
+
+// crossEvent is one cross-shard post: a callback with its timestamp,
+// origin shard, and per-pair sequence number. (at, src, seq) is a
+// total order over all crosses a shard will ever receive.
+type crossEvent struct {
+	at  Time
+	src int32
+	seq uint64
+	fn  func()
+}
+
+func crossLess(a, b crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// mailbox is the bounded queue between one ordered shard pair. The
+// source appends under mu; the destination drains under mu. minPending
+// mirrors the earliest queued timestamp for lock-free G computation.
+type mailbox struct {
+	mu         sync.Mutex
+	q          []crossEvent
+	seq        uint64
+	minPending atomic.Int64
+}
+
+// crossHeap is a binary min-heap of staged crosses ordered by
+// (at, src, seq), owned by the destination shard's loop.
+type crossHeap struct {
+	h []crossEvent
+}
+
+func (c *crossHeap) push(ev crossEvent) {
+	c.h = append(c.h, ev)
+	i := len(c.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !crossLess(c.h[i], c.h[p]) {
+			break
+		}
+		c.h[i], c.h[p] = c.h[p], c.h[i]
+		i = p
+	}
+}
+
+func (c *crossHeap) pop() crossEvent {
+	top := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h[last] = crossEvent{}
+	c.h = c.h[:last]
+	i, n := 0, last
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && crossLess(c.h[r], c.h[l]) {
+			m = r
+		}
+		if !crossLess(c.h[m], c.h[i]) {
+			break
+		}
+		c.h[i], c.h[m] = c.h[m], c.h[i]
+		i = m
+	}
+	return top
+}
+
+// satAdd adds a duration to a time without wrapping past MaxInt64.
+func satAdd(t Time, d Duration) Time {
+	if int64(t) > math.MaxInt64-int64(d) {
+		return Time(math.MaxInt64)
+	}
+	return t + Time(d)
+}
+
+// NewGroup couples the given kernels into one sharded simulation.
+// lookahead must be positive: it is the promise that no cross-shard
+// post lands sooner than lookahead past the poster's clock, and Post
+// panics on any violation. Kernels must be fresh to this group (a
+// kernel can belong to at most one).
+func NewGroup(lookahead Duration, kernels ...*Kernel) *Group {
+	if lookahead <= 0 {
+		panic("sim: group lookahead must be positive")
+	}
+	if len(kernels) == 0 {
+		panic("sim: group needs at least one kernel")
+	}
+	n := len(kernels)
+	g := &Group{
+		kernels:    kernels,
+		n:          n,
+		look:       lookahead,
+		mail:       make([][]*mailbox, n),
+		staging:    make([]crossHeap, n),
+		localMin:   make([]atomic.Int64, n),
+		horizon:    make([]atomic.Int64, n*n),
+		wake:       make([]chan struct{}, n),
+		idle:       make([]atomic.Bool, n),
+		posted:     make([]uint64, n),
+		dispatched: make([]uint64, n),
+	}
+	for i, k := range kernels {
+		if k.group != nil {
+			panic("sim: kernel already belongs to a group")
+		}
+		k.group = g
+		k.shard = i
+		g.wake[i] = make(chan struct{}, 1)
+		g.mail[i] = make([]*mailbox, n)
+		for j := 0; j < n; j++ {
+			if j != i {
+				g.mail[i][j] = &mailbox{}
+				g.mail[i][j].minPending.Store(noEvent)
+			}
+		}
+	}
+	return g
+}
+
+// Size returns the number of shards.
+func (g *Group) Size() int { return g.n }
+
+// Lookahead returns the group's conservative lookahead.
+func (g *Group) Lookahead() Duration { return g.look }
+
+// Kernel returns shard i's kernel.
+func (g *Group) Kernel(i int) *Kernel { return g.kernels[i] }
+
+// Now returns the trailing virtual clock across shards.
+func (g *Group) Now() Time {
+	min := maxDeadline
+	for _, k := range g.kernels {
+		if k.now < min {
+			min = k.now
+		}
+	}
+	return min
+}
+
+// CrossPosts returns the number of events routed between shards over
+// the group's lifetime. Call only while no run is in progress.
+func (g *Group) CrossPosts() uint64 {
+	var total uint64
+	for _, p := range g.posted {
+		total += p
+	}
+	return total
+}
+
+// Scheduled sums event-scheduling counters across shards.
+func (g *Group) Scheduled() uint64 {
+	var total uint64
+	for _, k := range g.kernels {
+		total += k.Scheduled()
+	}
+	return total
+}
+
+// Stop makes a running Run/RunUntil return after in-flight events
+// complete. Safe to call from any shard's event context.
+func (g *Group) Stop() {
+	g.stopFlag.Store(true)
+	for i := range g.wake {
+		g.notify(i)
+	}
+}
+
+// Post enqueues fn to run on shard dst at time at. From a grouped
+// kernel, a genuinely cross-shard post must respect the lookahead:
+// at >= now + lookahead, measured on the posting shard's clock. Posts
+// to the kernel's own shard (and all posts on an ungrouped kernel,
+// where dst must be 0) degrade to plain At scheduling.
+func (k *Kernel) Post(dst int, at Time, fn func()) {
+	g := k.group
+	if g == nil {
+		if dst != 0 {
+			panic("sim: Post to a nonzero shard on an ungrouped kernel")
+		}
+		k.At(at, fn)
+		return
+	}
+	if dst == k.shard {
+		k.At(at, fn)
+		return
+	}
+	if at < satAdd(k.now, g.look) {
+		panic("sim: cross-shard post violates lookahead")
+	}
+	g.post(k.shard, dst, at, fn)
+}
+
+// Shard returns the kernel's shard index within its group (0 when
+// ungrouped).
+func (k *Kernel) Shard() int { return k.shard }
+
+// Group returns the group the kernel belongs to, or nil.
+func (k *Kernel) Group() *Group { return k.group }
+
+func (g *Group) post(src, dst int, at Time, fn func()) {
+	mb := g.mail[src][dst]
+	mb.mu.Lock()
+	for len(mb.q) >= mailboxCap {
+		// Bounded mailbox full: the receiver is behind in wall-clock
+		// terms. Drain our own inbound mail (only appends to our
+		// staging heap, safe mid-event) and yield until it catches up,
+		// so a pair of mutually-posting shards cannot deadlock.
+		mb.mu.Unlock()
+		g.drain(src)
+		runtime.Gosched()
+		mb.mu.Lock()
+	}
+	seq := mb.seq
+	mb.seq++
+	mb.q = append(mb.q, crossEvent{at: at, src: int32(src), seq: seq, fn: fn})
+	if cur := mb.minPending.Load(); int64(at) < cur {
+		mb.minPending.Store(int64(at))
+	}
+	mb.mu.Unlock()
+	g.posted[src]++
+	g.notifyIdle(dst)
+}
+
+// notify wakes shard dst unconditionally (Stop, completion sweeps).
+func (g *Group) notify(dst int) {
+	select {
+	case g.wake[dst] <- struct{}{}:
+	default:
+	}
+}
+
+// notifyIdle wakes shard dst only if it is parked. Callers must have
+// already published the state that creates work for dst; a busy dst
+// picks that state up at the top of its own loop.
+func (g *Group) notifyIdle(dst int) {
+	if g.idle[dst].Load() {
+		g.notify(dst)
+	}
+}
+
+// drain moves every queued inbound cross into shard i's staging heap.
+// The lowered localMin is published before minPending is cleared so
+// the event is never invisible to a concurrent G computation.
+func (g *Group) drain(i int) bool {
+	moved := false
+	for s := 0; s < g.n; s++ {
+		mb := g.mail[s][i]
+		if mb == nil || mb.minPending.Load() == noEvent {
+			continue
+		}
+		mb.mu.Lock()
+		if len(mb.q) > 0 {
+			moved = true
+			entryMin := noEvent
+			for idx, ev := range mb.q {
+				g.staging[i].push(ev)
+				if int64(ev.at) < entryMin {
+					entryMin = int64(ev.at)
+				}
+				mb.q[idx] = crossEvent{}
+			}
+			mb.q = mb.q[:0]
+			if cur := g.localMin[i].Load(); entryMin < cur {
+				g.localMin[i].Store(entryMin)
+			}
+			mb.minPending.Store(noEvent)
+		}
+		mb.mu.Unlock()
+	}
+	return moved
+}
+
+// curMin is shard i's earliest undispatched event: local queue front
+// or staged cross. Owned by shard i's loop.
+func (g *Group) curMin(i int) int64 {
+	min := noEvent
+	if ev := g.kernels[i].front(); ev != nil {
+		min = int64(ev.at)
+	}
+	if h := g.staging[i].h; len(h) > 0 && int64(h[0].at) < min {
+		min = int64(h[0].at)
+	}
+	return min
+}
+
+// publishLocalMin refreshes shard i's published minimum. A raise can
+// unblock every other shard's G-derived safe time, so it wakes them.
+func (g *Group) publishLocalMin(i int) {
+	lm := g.curMin(i)
+	prev := g.localMin[i].Load()
+	if lm == prev {
+		return
+	}
+	g.localMin[i].Store(lm)
+	if lm > prev {
+		for j := 0; j < g.n; j++ {
+			if j != i {
+				g.notifyIdle(j)
+			}
+		}
+	}
+}
+
+// globalMin computes G: the earliest undispatched event anywhere.
+// Every read is individually conservative (events move from mailbox
+// coverage to localMin coverage with the new cover stored first), so
+// staleness can only lower the result.
+func (g *Group) globalMin() int64 {
+	min := noEvent
+	for i := 0; i < g.n; i++ {
+		if v := g.localMin[i].Load(); v < min {
+			min = v
+		}
+		for j := 0; j < g.n; j++ {
+			if mb := g.mail[i][j]; mb != nil {
+				if v := mb.minPending.Load(); v < min {
+					min = v
+				}
+			}
+		}
+	}
+	return min
+}
+
+// safeTime is the bound below which shard i may freely dispatch: no
+// future cross-shard arrival can carry a smaller timestamp. Two
+// independent bounds are combined; each must itself account for
+// crosses already posted to i but not yet drained (a post made before
+// this computation is only >= G, not >= G+lookahead, so the global
+// floor is capped by the inbound mailboxes — which must be read after
+// drain, as the shard loop does). The horizon bound needs no extra
+// cap: announceHorizons never raises a promise past the poster's own
+// undrained mail.
+func (g *Group) safeTime(i int) Time {
+	floor := satAdd(Time(g.globalMin()), g.look)
+	minH := noEvent
+	for s := 0; s < g.n; s++ {
+		if s == i {
+			continue
+		}
+		if mp := Time(g.mail[s][i].minPending.Load()); mp < floor {
+			floor = mp
+		}
+		if h := g.horizon[s*g.n+i].Load(); h < minH {
+			minH = h
+		}
+	}
+	safe := floor
+	if g.n > 1 && Time(minH) > safe {
+		safe = Time(minH)
+	}
+	return safe
+}
+
+// announceHorizons raises shard i's promise to every peer: no
+// not-yet-drained cross from i arrives before H(i→d). Future posts are
+// bounded below by (earliest possible next dispatch of i) + lookahead
+// — next dispatch being no earlier than min(curMin, safe), since every
+// event i will ever receive arrives at or after its safe time. Crosses
+// already sitting in the d-bound mailbox cap the promise at their own
+// timestamps: they arrive whenever d next drains, with no lookahead
+// slack left. Raises wake the beneficiary; the no-traffic case is the
+// protocol's explicit null message.
+func (g *Group) announceHorizons(i int, safe Time) {
+	floor := g.curMin(i)
+	if int64(safe) < floor {
+		floor = int64(safe)
+	}
+	h := int64(satAdd(Time(floor), g.look))
+	for d := 0; d < g.n; d++ {
+		if d == i {
+			continue
+		}
+		hd := h
+		if mp := g.mail[i][d].minPending.Load(); mp < hd {
+			hd = mp
+		}
+		slot := &g.horizon[i*g.n+d]
+		if hd > slot.Load() {
+			slot.Store(hd)
+			g.notifyIdle(d)
+		}
+	}
+}
+
+// dispatchOne runs shard i's earliest dispatchable work item — a
+// staged cross or a local event — applying the deterministic merge
+// rule: at equal timestamps crosses go first, ordered by (src, seq).
+// Returns false when the front is not dispatchable under (safe,
+// deadline).
+func (g *Group) dispatchOne(i int, safe, deadline Time) bool {
+	k := g.kernels[i]
+	var localAt Time = maxDeadline
+	ev := k.front()
+	if ev != nil {
+		localAt = ev.at
+	}
+	var crossAt Time = maxDeadline
+	if h := g.staging[i].h; len(h) > 0 {
+		crossAt = h[0].at
+	}
+	if crossAt <= localAt {
+		if crossAt == maxDeadline || crossAt > deadline || crossAt >= safe {
+			return false
+		}
+		ce := g.staging[i].pop()
+		if ce.at < k.now {
+			panic("sim: cross-shard event arrived in the past")
+		}
+		k.now = ce.at
+		g.dispatched[i]++
+		ce.fn()
+		return true
+	}
+	if localAt > deadline || localAt >= safe {
+		return false
+	}
+	k.popFront(ev)
+	if ev.canceled {
+		k.nCanceled--
+		k.recycle(ev)
+		return true
+	}
+	k.now = ev.at
+	fn := ev.fn
+	k.recycle(ev)
+	fn()
+	return true
+}
+
+// hasWork reports whether shard i could make progress right now.
+// Called under detMu with the system momentarily stable.
+func (g *Group) hasWork(i int, deadline Time) bool {
+	for s := 0; s < g.n; s++ {
+		if mb := g.mail[s][i]; mb != nil && mb.minPending.Load() != noEvent {
+			return true
+		}
+	}
+	cand := g.curMin(i)
+	if cand == noEvent || Time(cand) > deadline {
+		return false
+	}
+	return Time(cand) < g.safeTime(i)
+}
+
+// allQuiescent reports that no undispatched event at or before the
+// deadline exists anywhere. Under detMu with all shards idle this is
+// exact, and quiescence is stable: events are only created by
+// dispatching events.
+func (g *Group) allQuiescent(deadline Time) bool {
+	for i := 0; i < g.n; i++ {
+		if v := g.localMin[i].Load(); v != noEvent && Time(v) <= deadline {
+			return false
+		}
+		for j := 0; j < g.n; j++ {
+			if mb := g.mail[i][j]; mb != nil {
+				if v := mb.minPending.Load(); v != noEvent && Time(v) <= deadline {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// enterIdle records shard i as out of dispatchable work. The idle flag
+// is set before the final hasWork re-check, so any notifier publishing
+// after the re-check sees the flag and wakes i (and one publishing
+// before is seen by the re-check). The last shard in either detects
+// completion (closing done) or, when events remain but everyone
+// stalled on stale bounds, wakes exactly the shards that now have
+// dispatchable work — the global floor guarantees the shard holding
+// the earliest event is among them.
+func (g *Group) enterIdle(i int, deadline Time) (finished, retry bool) {
+	g.detMu.Lock()
+	defer g.detMu.Unlock()
+	if g.finished {
+		return true, false
+	}
+	if !g.idle[i].Load() {
+		g.idle[i].Store(true)
+		g.nIdle++
+	}
+	if g.hasWork(i, deadline) {
+		g.idle[i].Store(false)
+		g.nIdle--
+		return false, true
+	}
+	if g.nIdle == g.n {
+		if g.allQuiescent(deadline) {
+			g.finished = true
+			close(g.done)
+			return true, false
+		}
+		for j := 0; j < g.n; j++ {
+			if j != i && g.hasWork(j, deadline) {
+				g.notify(j)
+			}
+		}
+	}
+	return false, false
+}
+
+func (g *Group) exitIdle(i int) {
+	g.detMu.Lock()
+	if g.idle[i].Load() {
+		g.idle[i].Store(false)
+		g.nIdle--
+	}
+	g.detMu.Unlock()
+}
+
+// shardLoop is one shard's dispatch loop for a single run.
+func (g *Group) shardLoop(i int, deadline Time) {
+	k := g.kernels[i]
+	for {
+		if g.stopFlag.Load() || k.stopped {
+			g.Stop()
+			return
+		}
+		g.drain(i)
+		safe := g.safeTime(i)
+		progressed := false
+		for g.dispatchOne(i, safe, deadline) {
+			progressed = true
+			if g.stopFlag.Load() || k.stopped {
+				g.Stop()
+				return
+			}
+		}
+		g.publishLocalMin(i)
+		g.announceHorizons(i, safe)
+		if progressed {
+			continue
+		}
+		if g.drain(i) {
+			continue
+		}
+		finished, retry := g.enterIdle(i, deadline)
+		if finished {
+			return
+		}
+		if retry {
+			continue
+		}
+		select {
+		case <-g.wake[i]:
+			g.exitIdle(i)
+		case <-g.done:
+			return
+		}
+	}
+}
+
+// run executes one parallel episode until quiescence-at-deadline or
+// Stop. Setup and teardown happen on the caller's goroutine.
+func (g *Group) run(deadline Time) {
+	g.stopFlag.Store(false)
+	g.finished = false
+	g.nIdle = 0
+	g.done = make(chan struct{})
+	for i := range g.idle {
+		g.idle[i].Store(false)
+	}
+	for i, k := range g.kernels {
+		k.stopped = false
+		g.localMin[i].Store(g.curMin(i))
+		h := int64(satAdd(k.now, g.look))
+		for d := 0; d < g.n; d++ {
+			if d != i {
+				g.horizon[i*g.n+d].Store(h)
+			}
+		}
+		// Drain any stale wakeup from a prior run.
+		select {
+		case <-g.wake[i]:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < g.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.shardLoop(i, deadline)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Run dispatches across all shards until every queue and mailbox
+// drains or Stop is called. Mirrors Kernel.Run: if non-daemon
+// processes remain blocked at quiescence it returns a *DeadlockError
+// aggregated over every shard.
+func (g *Group) Run() error {
+	g.run(maxDeadline)
+	if g.stopFlag.Load() {
+		return nil
+	}
+	var blocked []BlockedProc
+	var at Time
+	for _, k := range g.kernels {
+		if k.now > at {
+			at = k.now
+		}
+		for _, p := range k.procs {
+			if (p.state == procParked || p.state == procNew) && !p.daemon {
+				blocked = append(blocked, BlockedProc{Name: p.name, Reason: p.waitReason})
+			}
+		}
+	}
+	if len(blocked) == 0 {
+		return nil
+	}
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].Name < blocked[j].Name })
+	return &DeadlockError{At: at, Procs: blocked}
+}
+
+// RunUntil dispatches events with timestamps <= deadline on every
+// shard, then advances all clocks to the deadline, exactly like the
+// serial Kernel.RunUntil.
+func (g *Group) RunUntil(deadline Time) {
+	g.run(deadline)
+	if g.stopFlag.Load() {
+		return
+	}
+	for _, k := range g.kernels {
+		if k.now < deadline {
+			k.now = deadline
+		}
+	}
+}
+
+// RunFor advances all shards by at most d past the trailing clock.
+func (g *Group) RunFor(d Duration) { g.RunUntil(g.Now().Add(d)) }
+
+// Shutdown kills parked processes on every shard. Call only after a
+// run has returned.
+func (g *Group) Shutdown() {
+	for _, k := range g.kernels {
+		k.Shutdown()
+	}
+}

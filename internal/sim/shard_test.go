@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// shardSim abstracts "n logical shards" so the same logical program
+// can run on a real Group or collapsed onto one serial kernel. The
+// serial run is the reference the sharded run must reproduce in
+// virtual time.
+type shardSim interface {
+	kernel(shard int) *Kernel
+	post(src, dst int, at Time, fn func())
+	run() error
+}
+
+type groupSim struct{ g *Group }
+
+func (s groupSim) kernel(i int) *Kernel { return s.g.Kernel(i) }
+func (s groupSim) post(src, dst int, at Time, fn func()) {
+	s.g.Kernel(src).Post(dst, at, fn)
+}
+func (s groupSim) run() error { return s.g.Run() }
+
+type serialSim struct{ k *Kernel }
+
+func (s serialSim) kernel(int) *Kernel { return s.k }
+func (s serialSim) post(_, _ int, at Time, fn func()) {
+	s.k.At(at, fn)
+}
+func (s serialSim) run() error { return s.k.Run() }
+
+// relayEntry records one hop firing: which chain, which hop index, and
+// the virtual time it ran. Each shard appends only to its own log, so
+// the logs are race-free under parallel execution and their per-shard
+// order is exactly that shard's dispatch order.
+type relayEntry struct {
+	chain, hop int
+	at         Time
+}
+
+// relayProgram builds a deterministic cross-shard relay mesh: chains of
+// events that wander between shards with per-hop delays at or above
+// the lookahead. All mutable state (a chain's rng, its hop counter)
+// travels along the chain, ordered by the happens-before of delivery,
+// and every chain's timestamps are congruent to its index modulo the
+// chain count, so no two events anywhere ever tie. Both the virtual
+// timeline and each shard's dispatch order are therefore fixed no
+// matter how the shards are scheduled — and must match a serial run.
+func relayProgram(s shardSim, shards int, seed int64, logs [][]relayEntry) {
+	const L = Duration(1000)
+	nChains := shards * 4
+	base := (int(L) + nChains - 1) / nChains // ceil: every delay clears the lookahead
+	for c := 0; c < nChains; c++ {
+		c := c
+		home := c % shards
+		rng := rand.New(rand.NewSource(seed*997 + int64(c)))
+		hops := 30 + c%4
+		var hop func(cur, remaining int, at Time)
+		hop = func(cur, remaining int, at Time) {
+			logs[cur] = append(logs[cur], relayEntry{chain: c, hop: hops - remaining, at: at})
+			if remaining == 0 {
+				return
+			}
+			next := (cur + 1 + rng.Intn(shards)) % shards
+			delay := Duration(nChains * (base + rng.Intn(50)))
+			nat := at.Add(delay)
+			if next == cur {
+				s.kernel(cur).At(nat, func() { hop(cur, remaining-1, nat) })
+			} else {
+				s.post(cur, next, nat, func() { hop(next, remaining-1, nat) })
+			}
+		}
+		start := Time(nChains + c)
+		s.kernel(home).At(start, func() { hop(home, hops, start) })
+	}
+}
+
+// runRelay executes the relay program and returns the per-shard
+// dispatch logs. The rng consumption along each chain depends on its
+// dispatch history, so log equality proves both that every event fired
+// at the serial run's virtual time and that each shard dispatched its
+// share in the serial run's relative order.
+func runRelay(t *testing.T, s shardSim, shards int, seed int64) [][]relayEntry {
+	t.Helper()
+	logs := make([][]relayEntry, shards)
+	relayProgram(s, shards, seed, logs)
+	if err := s.run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return logs
+}
+
+// diffLogs fails the test at the first per-shard divergence.
+func diffLogs(t *testing.T, label string, want, got [][]relayEntry) {
+	t.Helper()
+	for sh := range want {
+		if len(got[sh]) != len(want[sh]) {
+			t.Fatalf("%s: shard %d dispatched %d events, reference %d", label, sh, len(got[sh]), len(want[sh]))
+		}
+		for x, w := range want[sh] {
+			if got[sh][x] != w {
+				t.Fatalf("%s: shard %d pos %d: got %+v, reference %+v", label, sh, x, got[sh][x], w)
+			}
+		}
+	}
+}
+
+func newTestGroup(shards int) *Group {
+	ks := make([]*Kernel, shards)
+	for i := range ks {
+		ks[i] = NewKernel(1)
+	}
+	return NewGroup(Duration(1000), ks...)
+}
+
+func TestGroupMatchesSerialReference(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8} {
+		for seed := int64(1); seed <= 5; seed++ {
+			want := runRelay(t, serialSim{NewKernel(1)}, shards, seed)
+			g := newTestGroup(shards)
+			got := runRelay(t, groupSim{g}, shards, seed)
+			diffLogs(t, fmt.Sprintf("shards=%d seed=%d", shards, seed), want, got)
+			if g.CrossPosts() == 0 {
+				t.Fatalf("shards=%d seed=%d: relay mesh routed no cross-shard events", shards, seed)
+			}
+		}
+	}
+}
+
+func TestGroupRepeatedRunsIdentical(t *testing.T) {
+	ref := runRelay(t, groupSim{newTestGroup(4)}, 4, 42)
+	for rep := 0; rep < 10; rep++ {
+		got := runRelay(t, groupSim{newTestGroup(4)}, 4, 42)
+		diffLogs(t, fmt.Sprintf("rep %d", rep), ref, got)
+	}
+}
+
+// TestGroupSameInstantMergeOrder engineers a three-way tie at one
+// destination: two crosses from different shards and a local event,
+// all at the same instant. The deterministic rule is crosses first in
+// shard order, then per-pair sequence order, then local events.
+func TestGroupSameInstantMergeOrder(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		g := newTestGroup(3)
+		var order []string
+		at := Time(5000)
+		g.Kernel(1).At(100, func() {
+			g.Kernel(1).Post(0, at, func() { order = append(order, "cross-1a") })
+			g.Kernel(1).Post(0, at, func() { order = append(order, "cross-1b") })
+		})
+		g.Kernel(2).At(50, func() {
+			g.Kernel(2).Post(0, at, func() { order = append(order, "cross-2") })
+		})
+		g.Kernel(0).At(at, func() { order = append(order, "local") })
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"cross-1a", "cross-1b", "cross-2", "local"}
+		if fmt.Sprint(order) != fmt.Sprint(want) {
+			t.Fatalf("rep %d: merge order %v, want %v", rep, order, want)
+		}
+	}
+}
+
+func TestGroupPostLookaheadEnforced(t *testing.T) {
+	g := newTestGroup(2)
+	g.Kernel(0).At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("post below lookahead did not panic")
+			}
+			g.Stop()
+		}()
+		g.Kernel(0).Post(1, Time(100+999), func() {})
+	})
+	g.Run()
+}
+
+func TestGroupRunUntilAdvancesAndResumes(t *testing.T) {
+	g := newTestGroup(2)
+	var fired []Time
+	g.Kernel(0).At(500, func() {
+		g.Kernel(0).Post(1, 2000, func() { fired = append(fired, 2000) })
+	})
+	g.Kernel(1).At(9000, func() { fired = append(fired, 9000) })
+	g.RunUntil(3000)
+	if len(fired) != 1 || fired[0] != 2000 {
+		t.Fatalf("after RunUntil(3000): fired=%v", fired)
+	}
+	for i := 0; i < g.Size(); i++ {
+		if now := g.Kernel(i).Now(); now != 3000 {
+			t.Fatalf("shard %d clock %v, want 3000", i, now)
+		}
+	}
+	g.RunUntil(10000)
+	if len(fired) != 2 || fired[1] != 9000 {
+		t.Fatalf("after RunUntil(10000): fired=%v", fired)
+	}
+	if g.Now() != 10000 {
+		t.Fatalf("group now %v", g.Now())
+	}
+}
+
+func TestGroupDeadlockAggregation(t *testing.T) {
+	g := newTestGroup(2)
+	g.Kernel(0).Spawn("stuck-a", func(p *Proc) {
+		p.Park("waiting-forever")
+		p.Block()
+	})
+	g.Kernel(1).Spawn("stuck-b", func(p *Proc) {
+		p.Park("also-waiting")
+		p.Block()
+	})
+	err := g.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Procs) != 2 {
+		t.Fatalf("expected 2 blocked procs, got %v", de.Procs)
+	}
+	names := []string{de.Procs[0].Name, de.Procs[1].Name}
+	sort.Strings(names)
+	if names[0] != "stuck-a" || names[1] != "stuck-b" {
+		t.Fatalf("blocked procs %v", names)
+	}
+	g.Shutdown()
+}
+
+func TestGroupStopFromShard(t *testing.T) {
+	g := newTestGroup(2)
+	ran := 0
+	g.Kernel(0).At(10, func() { ran++; g.Stop() })
+	g.Kernel(1).At(1000000, func() { ran++ })
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+}
+
+// TestGroupProcsAcrossShards runs token-passing proc coroutines on
+// every shard with cross-shard wakeups threaded through Post.
+func TestGroupProcsAcrossShards(t *testing.T) {
+	const shards = 4
+	g := newTestGroup(shards)
+	var wakes [shards]int
+	var chain func(sh int, hops int)
+	chain = func(sh int, hops int) {
+		k := g.Kernel(sh)
+		k.Spawn(fmt.Sprintf("worker%d-%d", sh, hops), func(p *Proc) {
+			wake := p.Park("await-relay")
+			k.After(Duration(1500), wake)
+			p.Block()
+			wakes[sh]++
+			if hops > 0 {
+				next := (sh + 1) % shards
+				k.Post(next, p.Now().Add(Duration(2000)), func() { chain(next, hops-1) })
+			}
+		})
+	}
+	g.Kernel(0).At(0, func() { chain(0, 20) })
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range wakes {
+		total += w
+	}
+	if total != 21 {
+		t.Fatalf("chain woke %d times, want 21 (%v)", total, wakes)
+	}
+}
+
+type countingProbe struct{ compactions, swept int }
+
+func (c *countingProbe) ProcEvent(Time, string, string) {}
+func (c *countingProbe) QueueCompaction(at Time, n int) { c.compactions++; c.swept += n }
+
+func TestCompactionsCounter(t *testing.T) {
+	k := NewKernel(1)
+	probe := &countingProbe{}
+	k.SetProbe(probe)
+	var timers []Timer
+	for i := 0; i < 100000; i++ {
+		timers = append(timers, k.After(Duration(1000+i), func() {}))
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if k.Compactions() == 0 {
+		t.Fatal("100k cancels triggered no compaction")
+	}
+	if uint64(probe.compactions) != k.Compactions() {
+		t.Fatalf("probe saw %d compactions, kernel counted %d", probe.compactions, k.Compactions())
+	}
+	if probe.swept == 0 {
+		t.Fatal("compactions swept nothing")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGroupCrossRelay(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			g := newTestGroup(shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var hop func(sh int, n int, at Time)
+			hop = func(sh, n int, at Time) {
+				if n == 0 {
+					return
+				}
+				next := (sh + 1) % shards
+				nat := at.Add(Duration(1001))
+				if next == sh {
+					g.Kernel(sh).At(nat, func() { hop(sh, n-1, nat) })
+				} else {
+					g.Kernel(sh).Post(next, nat, func() { hop(next, n-1, nat) })
+				}
+			}
+			start := g.Now()
+			for sh := 0; sh < shards; sh++ {
+				sh := sh
+				g.Kernel(sh).At(start.Add(Duration(1+sh)), func() { hop(sh, b.N, start.Add(Duration(1+sh))) })
+			}
+			if err := g.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -285,3 +285,55 @@ func TestRouteAvoidingPartition(t *testing.T) {
 		t.Fatalf("self route = %v", r)
 	}
 }
+
+func TestPartitionClusters(t *testing.T) {
+	topo, err := IncompleteHypercube(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionClusters(topo, 4)
+	if p.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", p.Shards())
+	}
+	prev := 0
+	counts := make([]int, p.Shards())
+	for c := 0; c < topo.Clusters(); c++ {
+		sh := p.OfCluster(ClusterID(c))
+		if sh < prev {
+			t.Fatalf("cluster %d on shard %d after shard %d: not contiguous", c, sh, prev)
+		}
+		prev = sh
+		counts[sh]++
+	}
+	for sh, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d owns no clusters", sh)
+		}
+	}
+	for e := 0; e < topo.Endpoints(); e++ {
+		id := EndpointID(e)
+		want := p.OfCluster(topo.AttachmentOf(id).Cluster)
+		if got := p.OfEndpoint(topo, id); got != want {
+			t.Fatalf("endpoint %d on shard %d, cluster says %d", e, got, want)
+		}
+	}
+}
+
+func TestPartitionClustersClamps(t *testing.T) {
+	topo, err := IncompleteHypercube(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PartitionClusters(topo, 0).Shards(); got != 1 {
+		t.Fatalf("shards=0 clamped to %d, want 1", got)
+	}
+	if got := PartitionClusters(topo, 99).Shards(); got != 3 {
+		t.Fatalf("shards=99 clamped to %d, want 3", got)
+	}
+	p := PartitionClusters(topo, 1)
+	for c := 0; c < topo.Clusters(); c++ {
+		if p.OfCluster(ClusterID(c)) != 0 {
+			t.Fatalf("single shard: cluster %d not on shard 0", c)
+		}
+	}
+}

@@ -103,6 +103,7 @@ func All() []*Table {
 		E16Partitions(),
 		E17VChan(),
 		E18LatencyObservatory(),
+		E19ShardScaling(),
 	}
 }
 
@@ -120,6 +121,7 @@ func ByID(id string) *Table {
 		"F2": F2Scaling, "E12": E12FaultStorm, "E13": E13Supervision,
 		"E14": E14TracingOverhead, "E15": E15Pipelined, "E16": E16Partitions,
 		"E17": E17VChan, "E18": E18LatencyObservatory,
+		"E19": E19ShardScaling,
 	}
 	if g, ok := gens[strings.ToUpper(id)]; ok {
 		return g()
@@ -129,7 +131,7 @@ func ByID(id string) *Table {
 
 // IDs lists the experiment ids in paper order.
 func IDs() []string {
-	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 }
 
 func us(f float64) string   { return fmt.Sprintf("%.0f", f) }
