@@ -70,18 +70,43 @@ type benchReport struct {
 	CommVirtualSpeedup        float64 `json:"comm_virtual_speedup"`
 
 	// Sharded kernel: one simulation split over shard threads with
-	// conservative lookahead (E19's cross-cluster workload), serial vs
-	// -shards. Speedup is honest wall clock: on a host without spare
-	// cores the shards serialize and the synchronization is pure
-	// overhead, exactly as the suite's Workers clamp reports.
-	ShardShards        int     `json:"shard_shards"`
-	ShardEvents        uint64  `json:"shard_events"`
-	ShardCrossPosts    uint64  `json:"shard_cross_posts"`
-	ShardHandoffs      int     `json:"shard_handoffs"`
-	ShardSerialMs      float64 `json:"shard_serial_ms"`
-	ShardParallelMs    float64 `json:"shard_parallel_ms"`
-	ShardSpeedup       float64 `json:"shard_speedup"`
-	ShardByteIdentical bool    `json:"shard_byte_identical"`
+	// route-aware conservative lookahead (E19's cross-cluster
+	// workload), serial vs a sweep of shard counts. Speedup is honest
+	// wall clock — best of shardReps runs per count, to damp scheduler
+	// noise — and ShardGOMAXPROCS/ShardNumCPU record how many real
+	// cores backed it: on a host without spare cores the shards
+	// serialize and the synchronization is pure overhead, exactly as
+	// the suite's Workers clamp reports. The legacy shard_* fields
+	// mirror the ShardRows entry for -shards.
+	ShardGOMAXPROCS    int        `json:"shard_gomaxprocs"`
+	ShardNumCPU        int        `json:"shard_num_cpu"`
+	ShardRows          []shardRow `json:"shard_rows"`
+	ShardShards        int        `json:"shard_shards"`
+	ShardEvents        uint64     `json:"shard_events"`
+	ShardCrossPosts    uint64     `json:"shard_cross_posts"`
+	ShardHandoffs      int        `json:"shard_handoffs"`
+	ShardSerialMs      float64    `json:"shard_serial_ms"`
+	ShardParallelMs    float64    `json:"shard_parallel_ms"`
+	ShardSpeedup       float64    `json:"shard_speedup"`
+	ShardByteIdentical bool       `json:"shard_byte_identical"`
+}
+
+// shardRow is one shard count's measurement in the sweep: throughput
+// against the serial baseline plus the sim.sync.* counters that price
+// the conservative synchronization buying it.
+type shardRow struct {
+	Shards           int     `json:"shards"`
+	Events           uint64  `json:"events"`
+	CrossPosts       uint64  `json:"cross_posts"`
+	Handoffs         int     `json:"handoffs"`
+	WallMs           float64 `json:"wall_ms"`
+	Speedup          float64 `json:"speedup"`
+	HorizonPublishes uint64  `json:"horizon_publishes"`
+	NullMessages     uint64  `json:"null_messages"`
+	Wakeups          uint64  `json:"wakeups"`
+	DrainRuns        uint64  `json:"drain_runs"`
+	AvgDrainRun      float64 `json:"avg_drain_run"`
+	ByteIdentical    bool    `json:"byte_identical"`
 }
 
 func cmdBench(args []string) {
@@ -196,27 +221,67 @@ func cmdBench(args []string) {
 		*seeds, serialWall.Round(time.Millisecond), r.SuiteWorkers, parWall.Round(time.Millisecond),
 		r.ReplSpeedup, r.ReplByteIdentical)
 
-	// 6. Sharded kernel: the same simulation once on the serial kernel
-	// and once split over -shards threads with conservative lookahead.
-	// The digests must match byte for byte — that is the parallel
-	// kernel's contract, not a statistical property.
-	serialDigest, shEvents, _, _, shSerial := vorxbench.ShardBench(1)
-	splitDigest, _, shCross, shHandoffs, shSplit := vorxbench.ShardBench(*shards)
-	r.ShardShards = *shards
-	r.ShardEvents = shEvents
-	r.ShardCrossPosts = shCross
-	r.ShardHandoffs = shHandoffs
-	r.ShardSerialMs = float64(shSerial.Microseconds()) / 1000
-	r.ShardParallelMs = float64(shSplit.Microseconds()) / 1000
-	r.ShardSpeedup = shSerial.Seconds() / shSplit.Seconds()
-	r.ShardByteIdentical = serialDigest == splitDigest
-	shNote := ""
-	if r.ShardSpeedup < 1 && runtime.NumCPU() < *shards {
-		shNote = fmt.Sprintf("; %d CPUs for %d shards: synchronization overhead, no parallelism", runtime.NumCPU(), *shards)
+	// 6. Sharded kernel: the same simulation on the serial kernel and
+	// split over each shard count in the sweep. The digests must match
+	// byte for byte at every count — that is the parallel kernel's
+	// contract, not a statistical property. Wall clocks take the best
+	// of shardReps runs: virtual time is exact, but host scheduling on
+	// a shared builder is noisy and the minimum is the stable estimate.
+	const shardReps = 5
+	r.ShardGOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.ShardNumCPU = runtime.NumCPU()
+	counts := []int{2, 4, 8}
+	if *shards != 2 && *shards != 4 && *shards != 8 {
+		counts = append(counts, *shards)
 	}
-	fmt.Printf("sharded:     %d events  serial %v, %d shards %v  (%.2fx, %d cross posts, %d handoffs, byte-identical: %v%s)\n",
-		r.ShardEvents, shSerial.Round(time.Millisecond), *shards, shSplit.Round(time.Millisecond),
-		r.ShardSpeedup, r.ShardCrossPosts, r.ShardHandoffs, r.ShardByteIdentical, shNote)
+	best := func(n int) vorxbench.ShardMeasure {
+		run := vorxbench.ShardBench(n)
+		for rep := 1; rep < shardReps; rep++ {
+			if again := vorxbench.ShardBench(n); again.Wall < run.Wall {
+				run = again
+			}
+		}
+		return run
+	}
+	serial := best(1)
+	r.ShardSerialMs = float64(serial.Wall.Microseconds()) / 1000
+	r.ShardEvents = serial.Events
+	r.ShardByteIdentical = true
+	for _, n := range counts {
+		run := best(n)
+		row := shardRow{
+			Shards:           n,
+			Events:           run.Events,
+			CrossPosts:       run.Cross,
+			Handoffs:         run.Handoffs,
+			WallMs:           float64(run.Wall.Microseconds()) / 1000,
+			Speedup:          serial.Wall.Seconds() / run.Wall.Seconds(),
+			HorizonPublishes: run.Sync.HorizonPublishes,
+			NullMessages:     run.Sync.NullMessages,
+			Wakeups:          run.Sync.Wakeups,
+			DrainRuns:        run.Sync.DrainRuns,
+			AvgDrainRun:      run.Sync.AvgDrainRun(),
+			ByteIdentical:    run.Digest == serial.Digest,
+		}
+		r.ShardRows = append(r.ShardRows, row)
+		if !row.ByteIdentical {
+			r.ShardByteIdentical = false
+		}
+		if n == *shards {
+			r.ShardShards = n
+			r.ShardCrossPosts = row.CrossPosts
+			r.ShardHandoffs = row.Handoffs
+			r.ShardParallelMs = row.WallMs
+			r.ShardSpeedup = row.Speedup
+		}
+		fmt.Printf("sharded:     %d shards %v  (%.2fx vs serial %v, %d cross posts, %d horizon pubs, %d null msgs, %d wakeups, %.1f ev/drain, byte-identical: %v)\n",
+			n, run.Wall.Round(time.Millisecond), row.Speedup, serial.Wall.Round(time.Millisecond),
+			row.CrossPosts, row.HorizonPublishes, row.NullMessages, row.Wakeups, row.AvgDrainRun, row.ByteIdentical)
+	}
+	if r.ShardGOMAXPROCS < r.ShardShards {
+		fmt.Printf("sharded:     note: %d of %d CPUs usable for %d shards — synchronization overhead with little parallelism\n",
+			r.ShardGOMAXPROCS, r.ShardNumCPU, r.ShardShards)
+	}
 
 	if !r.SuiteByteIdentical || !r.ReplByteIdentical {
 		fmt.Fprintln(os.Stderr, "vorx bench: parallel replication diverged from serial output")

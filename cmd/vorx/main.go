@@ -461,6 +461,12 @@ func runChaos(args []string, tc *traceCtx) {
 	retries := fs.Int("retries", 3, "channel write retry budget; 0 retries forever (lets writers survive a partition)")
 	comm := commFlag(fs)
 	fs.Parse(args)
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
 
 	if *shardSweepN > 0 {
 		sw := vorxbench.RunShardSweep(*seed, *shardSweepN, *shards)
@@ -470,10 +476,13 @@ func runChaos(args []string, tc *traceCtx) {
 		}
 		return
 	}
-	if *shards != 4 {
-		// Replayed schedules partition clusters and cut links —
-		// zero-lookahead faults the sharded fabric rejects.
-		fmt.Fprintf(os.Stderr, "vorx: -shards only applies to -shardsweep; schedule replay runs the serial kernel\n")
+	if shardsSet && *shards > 1 {
+		// Schedule replay itself always runs the serial kernel, but an
+		// explicit -shards asks for the sharded restriction: the fault
+		// DSL rejects link and partition ops up front, naming the
+		// offending schedule line, instead of hitting the fabric's
+		// runtime panic mid-run.
+		fmt.Fprintf(os.Stderr, "vorx: schedule replay runs the serial kernel; validating the schedule for %d shards\n", *shards)
 	}
 
 	if *sweepN > 0 {
@@ -520,6 +529,9 @@ func runChaos(args []string, tc *traceCtx) {
 	eng := fault.New(sys.K, *seed)
 	eng.MaxRetries = *retries
 	eng.Bind(sys)
+	if shardsSet {
+		eng.SetShards(*shards)
+	}
 	eng.BindResmgr(res)
 	if *detect != "" {
 		d, err := fault.ParseDuration(*detect)

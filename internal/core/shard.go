@@ -108,7 +108,24 @@ func BuildSharded(cfg Config) (*Sharded, error) {
 			Trace: ics[i].Tracer(), byEP: make(map[topo.EndpointID]*Machine),
 		})
 	}
-	sh.Group = sim.NewGroup(costs.HopFixed, kerns...)
+	// Route-aware lookahead: the conservative promise between two shards
+	// is the minimum cube-route cost between their clusters, not the
+	// single-hop floor. Shard pairs that share a boundary link stay at
+	// HopFixed (the hand-off protocol posts signals exactly one hop
+	// ahead); pairs whose clusters sit k>1 links apart exchange signals
+	// only through k relaying boundary crossings, so they can promise
+	// k*HopFixed and synchronize far less often.
+	hops := part.RouteHops(tp)
+	look := make([][]sim.Duration, n)
+	for s := range look {
+		look[s] = make([]sim.Duration, n)
+		for d := range look[s] {
+			if s != d {
+				look[s][d] = costs.HopFixed * sim.Duration(hops[s][d])
+			}
+		}
+	}
+	sh.Group = sim.NewGroup(look, kerns...)
 	if n > 1 {
 		for i := 0; i < n; i++ {
 			ics[i].ConnectShards(i, shardOf, ics)

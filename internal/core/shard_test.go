@@ -151,3 +151,48 @@ func TestBuildShardedDefaultsToClusters(t *testing.T) {
 		t.Fatalf("shards=99 clamped to %d, want %d", sh.Shards(), sh.Topo.Clusters())
 	}
 }
+
+// TestBuildShardedShardEdges pins the remaining Config.Shards edges:
+// Shards=1 degenerates to a one-kernel group with zero effective
+// lookahead that still runs the full workload, and a multi-shard build
+// carries the route-aware lookahead matrix (HopFixed times the
+// minimum cube distance between each shard pair, zero diagonal).
+func TestBuildShardedShardEdges(t *testing.T) {
+	sh, err := BuildSharded(Config{Hosts: 1, Nodes: stackNodes, Seed: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards() != 1 {
+		t.Fatalf("shards=1 built %d shards", sh.Shards())
+	}
+	if la := sh.Group.Lookahead(); la != 0 {
+		t.Fatalf("one-shard group lookahead = %v, want 0", la)
+	}
+	out := make([]pairOutcome, stackPairs)
+	stackTraffic(sh, out)
+	if err := sh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pi, o := range out {
+		if o.recv != stackMsgs {
+			t.Fatalf("shards=1 pair %d delivered %d/%d", pi, o.recv, stackMsgs)
+		}
+	}
+
+	sh4, err := BuildSharded(Config{Hosts: 1, Nodes: stackNodes, Seed: 1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := sh4.Part.RouteHops(sh4.Topo)
+	for s := 0; s < sh4.Shards(); s++ {
+		for d := 0; d < sh4.Shards(); d++ {
+			want := sh4.Costs.HopFixed * sim.Duration(hops[s][d])
+			if got := sh4.Group.PairLookahead(s, d); got != want {
+				t.Fatalf("lookahead[%d][%d] = %v, want %v (%d hops)", s, d, got, want, hops[s][d])
+			}
+		}
+	}
+	if sh4.Group.Lookahead() != sh4.Costs.HopFixed {
+		t.Fatalf("group min lookahead = %v, want HopFixed %v", sh4.Group.Lookahead(), sh4.Costs.HopFixed)
+	}
+}

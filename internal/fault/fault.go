@@ -74,6 +74,11 @@ type Engine struct {
 	MaxRetries int
 
 	seed int64
+	// shards > 1 marks the engine as driving one shard of a split
+	// build (SetShards): link and partition faults are rejected at
+	// validation time, because zero-lookahead rerouting cannot run
+	// under the conservative shard protocol.
+	shards int
 	// partCut remembers which cube links the active partition cut (and
 	// only those: links that were already down stay down across a
 	// heal).
@@ -110,6 +115,12 @@ func (e *Engine) Bind(sys *core.System) {
 // fire DetectDelay after every crash). Turn it off when a supervisor
 // owns detection, so deaths are noticed by heartbeat loss instead.
 func (e *Engine) SetOracle(on bool) { e.oracleOff = !on }
+
+// SetShards declares that the bound system is one simulation split
+// over n shards. With n > 1, Apply rejects link and partition faults
+// at validation time — the sharded fabric cannot reroute (it would
+// panic mid-run) — naming the schedule line carrying the offending op.
+func (e *Engine) SetShards(n int) { e.shards = n }
 
 // BindResmgr makes node crashes force-free the dead node's processors.
 func (e *Engine) BindResmgr(res *resmgr.VORX) { e.res = res }

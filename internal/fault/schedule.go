@@ -12,11 +12,14 @@ import (
 	"hpcvorx/internal/topo"
 )
 
-// Op is one line of a fault schedule: what to do and when.
+// Op is one line of a fault schedule: what to do and when. Line is
+// the 1-based schedule line the op came from (0 for ops built in
+// code), so validation errors can point at the offending line.
 type Op struct {
 	At   sim.Duration
 	Kind string
 	Args []string
+	Line int
 }
 
 // ParseSchedule reads a fault schedule, one op per line:
@@ -65,7 +68,7 @@ func ParseSchedule(r io.Reader) ([]Op, error) {
 		if at <= 0 {
 			return nil, fmt.Errorf("fault: line %d: time must be positive, got %q", lineNo, fields[0])
 		}
-		ops = append(ops, Op{At: at, Kind: fields[1], Args: fields[2:]})
+		ops = append(ops, Op{At: at, Kind: fields[1], Args: fields[2:], Line: lineNo})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -403,7 +406,11 @@ func (e *Engine) validate(ops []Op) error {
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].at < ordered[j].at })
 
 	bad := func(en ent, format string, args ...any) error {
-		return fmt.Errorf("fault: op %d (%s at %v): %s", en.idx, en.op.Kind, en.at, fmt.Sprintf(format, args...))
+		where := fmt.Sprintf("op %d", en.idx)
+		if en.op.Line > 0 {
+			where = fmt.Sprintf("line %d", en.op.Line)
+		}
+		return fmt.Errorf("fault: %s (%s at %v): %s", where, en.op.Kind, en.at, fmt.Sprintf(format, args...))
 	}
 	linkDown := map[[2]int]bool{}    // schedule-owned link outages
 	machDown := map[string]bool{}    // schedule-owned crashes
@@ -436,6 +443,12 @@ func (e *Engine) validate(ops []Op) error {
 	}
 
 	for _, en := range ordered {
+		if e.shards > 1 {
+			switch en.op.Kind {
+			case "link-down", "link-up", "degrade", "partition", "heal":
+				return bad(en, "link and partition faults reroute with zero lookahead and cannot run on a build split over %d shards; drop this op or run serial (-shards=1)", e.shards)
+			}
+		}
 		switch en.op.Kind {
 		case "link-down", "link-up", "degrade":
 			key, target, ok := linkKey(en.op.Args)

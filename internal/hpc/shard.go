@@ -54,14 +54,30 @@ import (
 // simulation: shardOf maps every cluster to its owning shard and peers
 // lists all shard fabrics (peers[self] == ic). Call once, before any
 // traffic, on every shard's fabric. The fabrics' kernels must belong
-// to one sim.Group whose lookahead is at most the cost model's
-// HopFixed.
+// to one sim.Group whose pairwise lookahead is at most the cost
+// model's HopFixed across every boundary cube link, in both directions
+// — remoteArrive rides the hop forward and boundaryFreed rides it
+// back, each with exactly one hop of slack. Non-adjacent shard pairs
+// may carry wider promises (route-aware lookahead); they exchange no
+// direct fabric signals.
 func (ic *Interconnect) ConnectShards(self int, shardOf []int, peers []*Interconnect) {
 	if ic.k.Group() == nil && len(peers) > 1 {
 		panic("hpc: ConnectShards on a kernel outside a sim.Group")
 	}
-	if g := ic.k.Group(); g != nil && g.Lookahead() > ic.costs.HopFixed {
-		panic("hpc: group lookahead exceeds the minimum cube-hop cost")
+	if g := ic.k.Group(); g != nil && len(peers) > 1 {
+		for c := 0; c < ic.topo.Clusters(); c++ {
+			sc := shardOf[c]
+			for _, nb := range ic.topo.Neighbors(topo.ClusterID(c)) {
+				sn := shardOf[nb]
+				if sc == sn {
+					continue
+				}
+				if g.PairLookahead(sc, sn) > ic.costs.HopFixed ||
+					g.PairLookahead(sn, sc) > ic.costs.HopFixed {
+					panic("hpc: group lookahead across a boundary link exceeds the minimum cube-hop cost")
+				}
+			}
+		}
 	}
 	ic.shardSelf = self
 	ic.shardOf = shardOf
@@ -86,6 +102,19 @@ func (ic *Interconnect) handoff(l *link, t *transfer, dur sim.Duration) {
 	onDel := t.onDelivered
 	t.onDelivered = nil
 	dstShard := ic.shardOf[l.to]
+	if onDel != nil {
+		// A delivery notice posts home from the final shard with one
+		// hop of slack (carryBack); under route-aware lookahead that
+		// only clears the promise when the delivering shard and the
+		// notice's home are boundary-adjacent. No sharded workload
+		// sends cross-shard completion notices between distant shards
+		// (only multicast produces them), so this is a declared
+		// restriction like link faults, not a silent wrong answer.
+		fin := ic.shardOf[ic.topo.AttachmentOf(msg.Dst).Cluster]
+		if fin != int(origin) && ic.k.Group().PairLookahead(fin, int(origin)) > ic.costs.HopFixed {
+			panic("hpc: cross-shard delivery notice between non-adjacent shards is not supported under route-aware lookahead; run multicast workloads on the serial kernel")
+		}
+	}
 	peer := ic.peers[dstShard]
 	from, to := l.from, l.to
 	ic.k.Post(dstShard, doneAt, func() {

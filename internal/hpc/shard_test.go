@@ -39,7 +39,7 @@ func newShardedFabric(t *topo.Topology, shards int) *shardedFabric {
 	}
 	var g *sim.Group
 	if n > 1 {
-		g = sim.NewGroup(costs.HopFixed, kerns...)
+		g = sim.NewGroup(sim.UniformLookahead(n, costs.HopFixed), kerns...)
 	}
 	f := &shardedFabric{g: g, part: part, t: t, logs: make([][]delivRec, n)}
 	shardOf := make([]int, t.Clusters())

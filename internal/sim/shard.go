@@ -14,40 +14,55 @@ import (
 //
 // The contract with the model layer is a single primitive: an event
 // running on shard s may Post a callback to shard d, but only at a
-// timestamp at least `lookahead` beyond s's current clock. The
-// lookahead is physical: in the HPC cost model every cross-cluster
-// signal rides a cube hop that costs at minimum HopFixed (plus
-// 0.05 µs/byte of wire time), so a shard's present can never influence
-// a neighbor's past-or-present. That bound is what lets a shard
-// dispatch ahead without ever having to roll back.
+// timestamp at least look(s,d) beyond s's current clock, where
+// look(s,d) is the group's per-pair lookahead matrix. The lookahead is
+// physical: in the HPC cost model every cross-cluster signal rides
+// cube hops that cost at minimum HopFixed each (plus 0.05 µs/byte of
+// wire time), so shards whose clusters sit k links apart can promise
+// k hops of slack — a shard's present can never influence a distant
+// neighbor's near future. That bound is what lets a shard dispatch
+// ahead without ever having to roll back.
 //
 // Safety ("no event from the future"): shard d only dispatches an
 // event at time t when t < safe(d), where safe(d) is the maximum of
 // two independent lower bounds on every future cross-shard arrival:
 //
-//   - per-pair horizons: each shard s continuously announces
-//     H(s→d) = min(next dispatch time of s) + lookahead, the classic
-//     null-message promise, updated with every batch and re-announced
-//     as a pure wakeup when s has no traffic to piggyback it on;
-//   - the global floor: G + lookahead, where G is the minimum
+//   - per-pair horizons: each shard s announces
+//     H(s→d) = min(next dispatch time of s) + look(s,d), the classic
+//     null-message promise. Announcements are batched: a shard
+//     publishes only when its dispatch floor has advanced at least one
+//     minimum-lookahead quantum since the last announcement (and
+//     always on the edge of going idle), and a raise wakes the peer
+//     only when it can actually unblock it — the peer is parked and
+//     its published front lies below the new promise.
+//   - the global floor: G + look_in(d), where G is the minimum
 //     timestamp of any undispatched event anywhere (local heaps,
-//     staged crosses, and in-flight mailbox entries). Anything posted
-//     in the future originates from a dispatch at ≥ G, so it lands at
-//     ≥ G + lookahead. The floor is what makes progress unconditional:
-//     the shard holding the globally-earliest event always finds
-//     G + lookahead > G and can dispatch it, so the horizon exchange
-//     can never deadlock or creep in lookahead-sized steps.
+//     staged crosses, and in-flight mailbox entries) and look_in(d)
+//     is the smallest lookahead of any pair arriving at d. Anything
+//     posted in the future originates from a dispatch at ≥ G, so it
+//     lands at ≥ G + look_in(d) — the last edge of any causal chain
+//     alone funds the bound. The floor is what makes progress
+//     unconditional: the shard holding the globally-earliest event
+//     always finds G + look_in > G and can dispatch it, so the horizon
+//     exchange can never deadlock or creep in lookahead-sized steps.
 //
 // Determinism: cross-shard events are merged not in wall-clock arrival
 // order but by the total key (at, source shard, per-pair sequence),
 // and at equal timestamps staged crosses dispatch before local events.
 // Every run of the same program therefore dispatches the same events
 // in the same order on every shard, regardless of GOMAXPROCS or
-// scheduling jitter.
+// scheduling jitter. The lookahead matrix and the batched horizon
+// protocol change only when synchronization happens, never what order
+// events dispatch in.
 type Group struct {
 	kernels []*Kernel
 	n       int
-	look    Duration
+	// look[s][d] is the pairwise promise; minLook the smallest
+	// off-diagonal entry (the announcement quantum); lookTo[d] the
+	// column minimum funding d's global-floor bound.
+	look    [][]Duration
+	minLook Duration
+	lookTo  []Duration
 
 	// mail[s][d] is the bounded SPSC mailbox from shard s to shard d
 	// (nil on the diagonal). staging[d] is the receive-side merge heap,
@@ -83,12 +98,72 @@ type Group struct {
 	// read only after a run joins.
 	posted     []uint64
 	dispatched []uint64
+
+	// Synchronization-layer accounting (the sim.sync.* counters), one
+	// struct per shard, owned by that shard's loop; annFloor is the
+	// dispatch floor the shard last announced horizons from.
+	sync     []syncCounters
+	annFloor []int64
+}
+
+// syncCounters tallies what one shard spends on conservative
+// synchronization: every horizon slot actually stored, how many of
+// those were pure promises (null messages — no queued traffic to cap
+// them), every park/wake signal delivered, and how the dispatched
+// events group into grant batches (one safe-bound computation each).
+type syncCounters struct {
+	horizonPubs uint64
+	nullMsgs    uint64
+	wakeups     uint64
+	drainRuns   uint64
+	drainEvents uint64
+}
+
+// SyncStats aggregates the sim.sync.* counters over all shards. Read
+// only while no run is in progress; counts accumulate across runs.
+type SyncStats struct {
+	HorizonPublishes uint64 // per-pair horizon raises stored (sim.sync.horizon_publishes)
+	NullMessages     uint64 // raises with no queued traffic to the peer (sim.sync.null_messages)
+	Wakeups          uint64 // park/wake signals delivered (sim.sync.wakeups)
+	DrainRuns        uint64 // grant batches dispatching >= 1 event (sim.sync.drain_runs)
+	DrainedEvents    uint64 // events dispatched inside grant batches (sim.sync.drained_events)
+}
+
+// AvgDrainRun is the mean number of events dispatched per safe-bound
+// computation — the grant-based draining payoff (higher is cheaper).
+func (s SyncStats) AvgDrainRun() float64 {
+	if s.DrainRuns == 0 {
+		return 0
+	}
+	return float64(s.DrainedEvents) / float64(s.DrainRuns)
+}
+
+// SyncStats sums the synchronization counters across shards.
+func (g *Group) SyncStats() SyncStats {
+	var t SyncStats
+	for i := range g.sync {
+		t.HorizonPublishes += g.sync[i].horizonPubs
+		t.NullMessages += g.sync[i].nullMsgs
+		t.Wakeups += g.sync[i].wakeups
+		t.DrainRuns += g.sync[i].drainRuns
+		t.DrainedEvents += g.sync[i].drainEvents
+	}
+	return t
 }
 
 const (
 	noEvent     = int64(math.MaxInt64)
 	mailboxCap  = 1 << 15
 	maxDeadline = Time(math.MaxInt64)
+
+	// spinPasses bounds the pre-park polling phase. A dry shard that has
+	// already announced its horizons yields the processor a few times and
+	// re-checks for arriving mail or a raised safe bound before paying
+	// for the park/wake handshake (detMu, channel send, scheduler
+	// round trip). In a cross-shard dependency ping-pong each yield runs
+	// the posting shard, so the handoff lands at runqueue cost; a shard
+	// that is genuinely out of work burns the few passes once and parks.
+	spinPasses = 4
 )
 
 // crossEvent is one cross-shard post: a callback with its timestamp,
@@ -173,23 +248,67 @@ func satAdd(t Time, d Duration) Time {
 	return t + Time(d)
 }
 
-// NewGroup couples the given kernels into one sharded simulation.
-// lookahead must be positive: it is the promise that no cross-shard
-// post lands sooner than lookahead past the poster's clock, and Post
-// panics on any violation. Kernels must be fresh to this group (a
-// kernel can belong to at most one).
-func NewGroup(lookahead Duration, kernels ...*Kernel) *Group {
-	if lookahead <= 0 {
-		panic("sim: group lookahead must be positive")
+// UniformLookahead builds the n×n lookahead matrix with every
+// off-diagonal entry d — the single-scalar protocol PR 9 shipped,
+// still exactly right when no topology separates the shards.
+func UniformLookahead(n int, d Duration) [][]Duration {
+	m := make([][]Duration, n)
+	for i := range m {
+		m[i] = make([]Duration, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = d
+			}
+		}
 	}
+	return m
+}
+
+// NewGroup couples the given kernels into one sharded simulation.
+// lookahead is the per-pair promise matrix: lookahead[s][d] bounds how
+// soon a post from shard s may land on shard d past s's clock
+// (diagonal entries are ignored; off-diagonal entries must be
+// positive, and Post panics on any violation). Use UniformLookahead
+// when every pair shares one bound. Kernels must be fresh to this
+// group (a kernel can belong to at most one).
+func NewGroup(lookahead [][]Duration, kernels ...*Kernel) *Group {
 	if len(kernels) == 0 {
 		panic("sim: group needs at least one kernel")
 	}
 	n := len(kernels)
+	if len(lookahead) != n {
+		panic("sim: lookahead matrix must be shards x shards")
+	}
+	minLook := Duration(math.MaxInt64)
+	lookTo := make([]Duration, n)
+	for d := range lookTo {
+		lookTo[d] = Duration(math.MaxInt64)
+	}
+	for s := range lookahead {
+		if len(lookahead[s]) != n {
+			panic("sim: lookahead matrix must be shards x shards")
+		}
+		for d, v := range lookahead[s] {
+			if s == d {
+				continue
+			}
+			if v <= 0 {
+				panic("sim: group lookahead must be positive")
+			}
+			if v < minLook {
+				minLook = v
+			}
+			if v < lookTo[d] {
+				lookTo[d] = v
+			}
+		}
+	}
 	g := &Group{
 		kernels:    kernels,
 		n:          n,
 		look:       lookahead,
+		minLook:    minLook,
+		lookTo:     lookTo,
 		mail:       make([][]*mailbox, n),
 		staging:    make([]crossHeap, n),
 		localMin:   make([]atomic.Int64, n),
@@ -198,6 +317,8 @@ func NewGroup(lookahead Duration, kernels ...*Kernel) *Group {
 		idle:       make([]atomic.Bool, n),
 		posted:     make([]uint64, n),
 		dispatched: make([]uint64, n),
+		sync:       make([]syncCounters, n),
+		annFloor:   make([]int64, n),
 	}
 	for i, k := range kernels {
 		if k.group != nil {
@@ -220,8 +341,18 @@ func NewGroup(lookahead Duration, kernels ...*Kernel) *Group {
 // Size returns the number of shards.
 func (g *Group) Size() int { return g.n }
 
-// Lookahead returns the group's conservative lookahead.
-func (g *Group) Lookahead() Duration { return g.look }
+// Lookahead returns the group's minimum pairwise lookahead — the
+// tightest promise any shard pair operates under.
+func (g *Group) Lookahead() Duration {
+	if g.n == 1 {
+		return 0
+	}
+	return g.minLook
+}
+
+// PairLookahead returns the conservative promise from shard s to shard
+// d (0 on the diagonal).
+func (g *Group) PairLookahead(s, d int) Duration { return g.look[s][d] }
 
 // Kernel returns shard i's kernel.
 func (g *Group) Kernel(i int) *Kernel { return g.kernels[i] }
@@ -266,10 +397,11 @@ func (g *Group) Stop() {
 }
 
 // Post enqueues fn to run on shard dst at time at. From a grouped
-// kernel, a genuinely cross-shard post must respect the lookahead:
-// at >= now + lookahead, measured on the posting shard's clock. Posts
-// to the kernel's own shard (and all posts on an ungrouped kernel,
-// where dst must be 0) degrade to plain At scheduling.
+// kernel, a genuinely cross-shard post must respect the pairwise
+// lookahead: at >= now + look(src,dst), measured on the posting
+// shard's clock. Posts to the kernel's own shard (and all posts on an
+// ungrouped kernel, where dst must be 0) degrade to plain At
+// scheduling.
 func (k *Kernel) Post(dst int, at Time, fn func()) {
 	g := k.group
 	if g == nil {
@@ -283,7 +415,7 @@ func (k *Kernel) Post(dst int, at Time, fn func()) {
 		k.At(at, fn)
 		return
 	}
-	if at < satAdd(k.now, g.look) {
+	if at < satAdd(k.now, g.look[k.shard][dst]) {
 		panic("sim: cross-shard post violates lookahead")
 	}
 	g.post(k.shard, dst, at, fn)
@@ -317,7 +449,7 @@ func (g *Group) post(src, dst int, at Time, fn func()) {
 	}
 	mb.mu.Unlock()
 	g.posted[src]++
-	g.notifyIdle(dst)
+	g.notifyIdle(src, dst)
 }
 
 // notify wakes shard dst unconditionally (Stop, completion sweeps).
@@ -328,12 +460,17 @@ func (g *Group) notify(dst int) {
 	}
 }
 
-// notifyIdle wakes shard dst only if it is parked. Callers must have
-// already published the state that creates work for dst; a busy dst
-// picks that state up at the top of its own loop.
-func (g *Group) notifyIdle(dst int) {
+// notifyIdle wakes shard dst only if it is parked, charging the signal
+// to src's wakeup counter when one is actually delivered. Callers must
+// have already published the state that creates work for dst; a busy
+// dst picks that state up at the top of its own loop.
+func (g *Group) notifyIdle(src, dst int) {
 	if g.idle[dst].Load() {
-		g.notify(dst)
+		select {
+		case g.wake[dst] <- struct{}{}:
+			g.sync[src].wakeups++
+		default:
+		}
 	}
 }
 
@@ -382,8 +519,16 @@ func (g *Group) curMin(i int) int64 {
 	return min
 }
 
-// publishLocalMin refreshes shard i's published minimum. A raise can
-// unblock every other shard's G-derived safe time, so it wakes them.
+// publishLocalMin refreshes shard i's published minimum. A raise lifts
+// the global floor, but it only wakes the peers whose safe bound can
+// actually move: a parked shard j is unblockable by this raise only if
+// its own published front lies below the lifted floor's reach,
+// lm + look_in(j) (the floor after the raise is at most G' + look_in(j)
+// with G' <= lm, and neither the horizon bound nor the inbound-mail cap
+// is touched by a localMin store). Peers the filter skips are exactly
+// the ones a wakeup would bounce off; any wake this leaves for later is
+// re-evaluated on every subsequent raise and, once all shards park, by
+// enterIdle's exact completion sweep.
 func (g *Group) publishLocalMin(i int) {
 	lm := g.curMin(i)
 	prev := g.localMin[i].Load()
@@ -393,8 +538,12 @@ func (g *Group) publishLocalMin(i int) {
 	g.localMin[i].Store(lm)
 	if lm > prev {
 		for j := 0; j < g.n; j++ {
-			if j != i {
-				g.notifyIdle(j)
+			if j == i || !g.idle[j].Load() {
+				continue
+			}
+			fj := g.localMin[j].Load()
+			if fj != noEvent && Time(fj) < satAdd(Time(lm), g.lookTo[j]) {
+				g.notifyIdle(i, j)
 			}
 		}
 	}
@@ -431,7 +580,7 @@ func (g *Group) globalMin() int64 {
 // cap: announceHorizons never raises a promise past the poster's own
 // undrained mail.
 func (g *Group) safeTime(i int) Time {
-	floor := satAdd(Time(g.globalMin()), g.look)
+	floor := satAdd(Time(g.globalMin()), g.lookTo[i])
 	minH := noEvent
 	for s := 0; s < g.n; s++ {
 		if s == i {
@@ -453,31 +602,57 @@ func (g *Group) safeTime(i int) Time {
 
 // announceHorizons raises shard i's promise to every peer: no
 // not-yet-drained cross from i arrives before H(i→d). Future posts are
-// bounded below by (earliest possible next dispatch of i) + lookahead
+// bounded below by (earliest possible next dispatch of i) + look(i,d)
 // — next dispatch being no earlier than min(curMin, safe), since every
 // event i will ever receive arrives at or after its safe time. Crosses
 // already sitting in the d-bound mailbox cap the promise at their own
 // timestamps: they arrive whenever d next drains, with no lookahead
-// slack left. Raises wake the beneficiary; the no-traffic case is the
-// protocol's explicit null message.
-func (g *Group) announceHorizons(i int, safe Time) {
+// slack left.
+//
+// Publication is batched. While a shard is actively dispatching
+// (force=false) it re-announces only when its floor has advanced at
+// least one minimum-lookahead quantum past the last announcement —
+// sub-quantum raises cannot cross any peer's next-event threshold that
+// a following announcement wouldn't also cross, and the floor bound
+// keeps global progress alive between announcements. The force=true
+// pass on the edge of going idle always recomputes every pair, which
+// also repairs promises that were capped by since-drained outbound
+// mail. A raise wakes the beneficiary only when it can unblock it (the
+// peer is parked below the new promise); a raise published with no
+// queued traffic to cap it is the protocol's explicit null message.
+func (g *Group) announceHorizons(i int, safe Time, force bool) {
 	floor := g.curMin(i)
 	if int64(safe) < floor {
 		floor = int64(safe)
 	}
-	h := int64(satAdd(Time(floor), g.look))
+	if !force {
+		if floor == g.annFloor[i] {
+			return
+		}
+		if Time(floor) < satAdd(Time(g.annFloor[i]), g.minLook) {
+			return
+		}
+	}
+	g.annFloor[i] = floor
 	for d := 0; d < g.n; d++ {
 		if d == i {
 			continue
 		}
-		hd := h
-		if mp := g.mail[i][d].minPending.Load(); mp < hd {
+		hd := int64(satAdd(Time(floor), g.look[i][d]))
+		mp := g.mail[i][d].minPending.Load()
+		if mp < hd {
 			hd = mp
 		}
 		slot := &g.horizon[i*g.n+d]
 		if hd > slot.Load() {
 			slot.Store(hd)
-			g.notifyIdle(d)
+			g.sync[i].horizonPubs++
+			if mp == noEvent {
+				g.sync[i].nullMsgs++
+			}
+			if g.idle[d].Load() && hd > g.localMin[d].Load() {
+				g.notifyIdle(i, d)
+			}
 		}
 	}
 }
@@ -600,6 +775,31 @@ func (g *Group) enterIdle(i int, deadline Time) (finished, retry bool) {
 	return false, false
 }
 
+// spinForWork is the cheap half of the idle handshake: after the
+// force-published horizons are out, yield and poll a few times for
+// newly-arrived mail or a raised safe bound before parking. Returns
+// true when the shard should re-enter its dispatch loop. Purely a
+// wall-clock optimization: the spin delays parking, it never changes
+// what the protocol promises or the order events dispatch in.
+func (g *Group) spinForWork(i int, deadline Time) bool {
+	if g.n == 1 {
+		return false
+	}
+	for pass := 0; pass < spinPasses; pass++ {
+		runtime.Gosched()
+		if g.stopFlag.Load() || g.kernels[i].stopped {
+			return true
+		}
+		if g.drain(i) {
+			return true
+		}
+		if cand := g.curMin(i); cand != noEvent && Time(cand) <= deadline && Time(cand) < g.safeTime(i) {
+			return true
+		}
+	}
+	return false
+}
+
 func (g *Group) exitIdle(i int) {
 	g.detMu.Lock()
 	if g.idle[i].Load() {
@@ -609,7 +809,13 @@ func (g *Group) exitIdle(i int) {
 	g.detMu.Unlock()
 }
 
-// shardLoop is one shard's dispatch loop for a single run.
+// shardLoop is one shard's dispatch loop for a single run: compute the
+// safe-advance bound once, drain every dispatchable event below it in
+// one grant run, publish the raised floor, and only then decide
+// whether to re-arm or park. Horizon announcements ride the quantized
+// fast path while the shard is making progress and the exhaustive
+// force path just before it parks; between the two sits the bounded
+// yield-and-poll spin that resolves most handoffs without parking.
 func (g *Group) shardLoop(i int, deadline Time) {
 	k := g.kernels[i]
 	for {
@@ -619,20 +825,26 @@ func (g *Group) shardLoop(i int, deadline Time) {
 		}
 		g.drain(i)
 		safe := g.safeTime(i)
-		progressed := false
+		ran := uint64(0)
 		for g.dispatchOne(i, safe, deadline) {
-			progressed = true
+			ran++
 			if g.stopFlag.Load() || k.stopped {
 				g.Stop()
 				return
 			}
 		}
 		g.publishLocalMin(i)
-		g.announceHorizons(i, safe)
-		if progressed {
+		if ran > 0 {
+			g.sync[i].drainRuns++
+			g.sync[i].drainEvents += ran
+			g.announceHorizons(i, safe, false)
 			continue
 		}
 		if g.drain(i) {
+			continue
+		}
+		g.announceHorizons(i, safe, true)
+		if g.spinForWork(i, deadline) {
 			continue
 		}
 		finished, retry := g.enterIdle(i, deadline)
@@ -664,10 +876,10 @@ func (g *Group) run(deadline Time) {
 	for i, k := range g.kernels {
 		k.stopped = false
 		g.localMin[i].Store(g.curMin(i))
-		h := int64(satAdd(k.now, g.look))
+		g.annFloor[i] = math.MinInt64
 		for d := 0; d < g.n; d++ {
 			if d != i {
-				g.horizon[i*g.n+d].Store(h)
+				g.horizon[i*g.n+d].Store(int64(satAdd(k.now, g.look[i][d])))
 			}
 		}
 		// Drain any stale wakeup from a prior run.

@@ -114,7 +114,7 @@ func newTestGroup(shards int) *Group {
 	for i := range ks {
 		ks[i] = NewKernel(1)
 	}
-	return NewGroup(Duration(1000), ks...)
+	return NewGroup(UniformLookahead(shards, Duration(1000)), ks...)
 }
 
 func TestGroupMatchesSerialReference(t *testing.T) {
@@ -335,5 +335,135 @@ func BenchmarkGroupCrossRelay(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestGroupMatrixLookaheadDeterminism runs a ring relay on a
+// non-uniform lookahead matrix (promise = 1000 x shard distance in the
+// ring's line order) and checks the dispatch logs against the serial
+// reference, so the widened promises provably change only when shards
+// synchronize, never what they dispatch.
+func lineMatrixGroup(shards int, step Duration) *Group {
+	look := make([][]Duration, shards)
+	for s := range look {
+		look[s] = make([]Duration, shards)
+		for d := range look[s] {
+			if s != d {
+				dist := s - d
+				if dist < 0 {
+					dist = -dist
+				}
+				look[s][d] = step * Duration(dist)
+			}
+		}
+	}
+	ks := make([]*Kernel, shards)
+	for i := range ks {
+		ks[i] = NewKernel(1)
+	}
+	return NewGroup(look, ks...)
+}
+
+func TestGroupMatrixLookaheadDeterminism(t *testing.T) {
+	const shards = 4
+	type entry struct {
+		hop int
+		at  Time
+	}
+	run := func(post func(src, dst int, at Time, fn func()), k func(int) *Kernel, logs [][]entry, done func() error) {
+		// One chain hopping around the ring; every delay clears the
+		// widest pair promise (3 x 1000).
+		var hop func(cur, n int, at Time)
+		hop = func(cur, n int, at Time) {
+			logs[cur] = append(logs[cur], entry{hop: n, at: at})
+			if n == 0 {
+				return
+			}
+			next := (cur + 1) % shards
+			nat := at.Add(Duration(3100 + n%7))
+			post(cur, next, nat, func() { hop(next, n-1, nat) })
+		}
+		k(0).At(10, func() { hop(0, 40, 10) })
+		if err := done(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialLogs := make([][]entry, shards)
+	sk := NewKernel(1)
+	run(func(_, _ int, at Time, fn func()) { sk.At(at, fn) },
+		func(int) *Kernel { return sk },
+		serialLogs, sk.Run)
+	// The serial "shard" log is keyed by the ring position the hop ran
+	// at, which the closure records into logs[cur] identically.
+	g := lineMatrixGroup(shards, Duration(1000))
+	groupLogs := make([][]entry, shards)
+	run(func(src, dst int, at Time, fn func()) { g.Kernel(src).Post(dst, at, fn) },
+		func(i int) *Kernel { return g.Kernel(i) },
+		groupLogs, g.Run)
+	for sh := range serialLogs {
+		if fmt.Sprint(groupLogs[sh]) != fmt.Sprint(serialLogs[sh]) {
+			t.Fatalf("shard %d diverged:\nserial %v\ngroup  %v", sh, serialLogs[sh], groupLogs[sh])
+		}
+	}
+	if g.PairLookahead(0, 3) != Duration(3000) || g.PairLookahead(0, 1) != Duration(1000) {
+		t.Fatalf("matrix promises wrong: %v, %v", g.PairLookahead(0, 3), g.PairLookahead(0, 1))
+	}
+	if g.Lookahead() != Duration(1000) {
+		t.Fatalf("group min lookahead %v, want 1000", g.Lookahead())
+	}
+}
+
+// TestGroupMatrixPostEnforcedPerPair: the Post floor is the pair's own
+// matrix entry, not the group minimum — a post that clears the minimum
+// but undercuts its pair promise must panic.
+func TestGroupMatrixPostEnforcedPerPair(t *testing.T) {
+	g := lineMatrixGroup(3, Duration(1000))
+	g.Kernel(0).At(100, func() {
+		// Distance-1 pair at exactly the promise: legal.
+		g.Kernel(0).Post(1, Time(100+1000), func() {})
+		defer func() {
+			if recover() == nil {
+				t.Error("post below the pair promise did not panic")
+			}
+			g.Stop()
+		}()
+		// Distance-2 pair beyond the group minimum but below the pair's
+		// 2000 promise: must panic.
+		g.Kernel(0).Post(2, Time(100+1999), func() {})
+	})
+	g.Run()
+}
+
+// TestGroupSyncStatsCounters: a cross-shard run populates every
+// sim.sync.* counter, the drained-event total covers all dispatched
+// events (every event dispatches inside some grant run), and a
+// one-shard group reports zero synchronization.
+func TestGroupSyncStatsCounters(t *testing.T) {
+	g := newTestGroup(4)
+	runRelay(t, groupSim{g}, 4, 7)
+	st := g.SyncStats()
+	if st.DrainRuns == 0 || st.DrainedEvents == 0 {
+		t.Fatalf("no grant runs recorded: %+v", st)
+	}
+	if st.HorizonPublishes == 0 {
+		t.Fatalf("no horizon publishes recorded: %+v", st)
+	}
+	// The relay cancels nothing, so every locally scheduled event and
+	// every cross post dispatches inside some grant run.
+	if got, want := st.DrainedEvents, g.Scheduled()+g.CrossPosts(); got != want {
+		t.Fatalf("drained %d events, kernels scheduled %d + %d crosses", got, g.Scheduled(), g.CrossPosts())
+	}
+	if avg := st.AvgDrainRun(); avg < 1 {
+		t.Fatalf("average drain run %.2f < 1", avg)
+	}
+
+	single := newTestGroup(1)
+	single.Kernel(0).At(50, func() {})
+	if err := single.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st = single.SyncStats()
+	if st.HorizonPublishes != 0 || st.NullMessages != 0 || st.Wakeups != 0 {
+		t.Fatalf("one-shard group recorded synchronization: %+v", st)
 	}
 }

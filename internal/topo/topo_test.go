@@ -337,3 +337,88 @@ func TestPartitionClustersClamps(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionPropertiesQuick drives PartitionClusters and RouteHops
+// over random pool shapes and shard requests: the split must be
+// contiguous, cover every cluster, balance shard sizes within one
+// cluster, honor the [1, clusters] clamp, and yield a lookahead
+// distance matrix that is zero on the diagonal, symmetric and
+// positive off it, and exactly 1 for every shard pair sharing a cube
+// link.
+func TestPartitionPropertiesQuick(t *testing.T) {
+	f := func(rawClusters, rawShards uint8) bool {
+		clusters := 1 + int(rawClusters)%24
+		shards := int(rawShards) % 32 // includes 0 and > clusters
+		tp, err := IncompleteHypercube(clusters, 4)
+		if err != nil {
+			t.Fatalf("clusters=%d: %v", clusters, err)
+		}
+		p := PartitionClusters(tp, shards)
+		n := p.Shards()
+		want := shards
+		if want < 1 {
+			want = 1
+		}
+		if want > clusters {
+			want = clusters
+		}
+		if n != want {
+			t.Fatalf("clusters=%d shards=%d: got %d shards, want %d", clusters, shards, n, want)
+		}
+		counts := make([]int, n)
+		prev := 0
+		for c := 0; c < clusters; c++ {
+			sh := p.OfCluster(ClusterID(c))
+			if sh < prev || sh > prev+1 {
+				t.Fatalf("clusters=%d shards=%d: cluster %d on shard %d after shard %d (not contiguous)",
+					clusters, shards, c, sh, prev)
+			}
+			prev = sh
+			counts[sh]++
+		}
+		lo, hi := counts[0], counts[0]
+		for sh, k := range counts {
+			if k == 0 {
+				t.Fatalf("clusters=%d shards=%d: shard %d owns no clusters", clusters, shards, sh)
+			}
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("clusters=%d shards=%d: shard sizes %v differ by more than one cluster",
+				clusters, shards, counts)
+		}
+		hops := p.RouteHops(tp)
+		for s := 0; s < n; s++ {
+			if hops[s][s] != 0 {
+				t.Fatalf("clusters=%d shards=%d: hops[%d][%d] = %d, want 0", clusters, shards, s, s, hops[s][s])
+			}
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				if hops[s][d] < 1 || hops[s][d] != hops[d][s] {
+					t.Fatalf("clusters=%d shards=%d: hops[%d][%d]=%d hops[%d][%d]=%d",
+						clusters, shards, s, d, hops[s][d], d, s, hops[d][s])
+				}
+			}
+		}
+		for c := 0; c < clusters; c++ {
+			sc := p.OfCluster(ClusterID(c))
+			for _, nb := range tp.Neighbors(ClusterID(c)) {
+				if sn := p.OfCluster(nb); sn != sc && hops[sc][sn] != 1 {
+					t.Fatalf("clusters=%d shards=%d: boundary pair (%d,%d) has distance %d, want 1",
+						clusters, shards, sc, sn, hops[sc][sn])
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,13 +28,28 @@ const (
 	e19Msgs  = 10
 )
 
+// ShardMeasure is one measured execution of a sharded workload: the
+// deterministic outcome digest (byte-comparable across shard counts),
+// the virtual-time event volume, and the host-dependent wall clock
+// plus conservative-synchronization counters.
+type ShardMeasure struct {
+	Shards   int
+	Digest   string
+	Events   uint64
+	Cross    uint64
+	Handoffs int
+	Makespan sim.Time
+	Wall     time.Duration
+	Sync     sim.SyncStats
+}
+
 type e19Outcome struct {
 	recv int
 	done sim.Time
 }
 
 // e19Run drives the cross-cluster pair workload at one shard count.
-func e19Run(shards int) (digest string, events, cross uint64, handoffs int, makespan sim.Time, wall time.Duration) {
+func e19Run(shards int) ShardMeasure {
 	sh, err := core.BuildSharded(core.Config{Hosts: 1, Nodes: e19Nodes, Seed: 19, Shards: shards})
 	if err != nil {
 		panic(err)
@@ -71,7 +86,7 @@ func e19Run(shards int) (digest string, events, cross uint64, handoffs int, make
 	if err := sh.Run(); err != nil {
 		panic(err)
 	}
-	wall = time.Since(t0)
+	wall := time.Since(t0)
 
 	var b strings.Builder
 	for pi, o := range out {
@@ -79,23 +94,27 @@ func e19Run(shards int) (digest string, events, cross uint64, handoffs int, make
 	}
 	// Group.Now is the trailing clock (a shard with no late events
 	// parks early); the makespan is the leading one.
+	var makespan sim.Time
 	for _, sys := range sh.Sys {
 		if n := sys.K.Now(); n > makespan {
 			makespan = n
 		}
 	}
-	return b.String(), sh.Group.Scheduled(), sh.Group.CrossPosts(),
-		sh.FabricStats().HandoffsOut, makespan, wall
+	return ShardMeasure{
+		Shards:   shards,
+		Digest:   b.String(),
+		Events:   sh.Group.Scheduled(),
+		Cross:    sh.Group.CrossPosts(),
+		Handoffs: sh.FabricStats().HandoffsOut,
+		Makespan: makespan,
+		Wall:     wall,
+		Sync:     sh.Group.SyncStats(),
+	}
 }
 
 // ShardBench runs the E19 workload once at the given shard count, for
-// `vorx bench`'s shard section: the outcome digest (byte-comparable
-// across shard counts), kernel events, cross-shard posts, boundary
-// handoffs, and host wall time.
-func ShardBench(shards int) (digest string, events, cross uint64, handoffs int, wall time.Duration) {
-	digest, events, cross, handoffs, _, wall = e19Run(shards)
-	return
-}
+// `vorx bench`'s shard section.
+func ShardBench(shards int) ShardMeasure { return e19Run(shards) }
 
 // E19ShardScaling sweeps shard counts over one installation.
 func E19ShardScaling() *Table {
@@ -107,40 +126,36 @@ func E19ShardScaling() *Table {
 	}
 	serialDigest := ""
 	var serialWall time.Duration
-	type res struct {
-		shards int
-		wall   time.Duration
-		events uint64
-	}
-	var walls []res
+	var runs []ShardMeasure
 	for _, shards := range []int{1, 2, 4, 8} {
-		digest, events, cross, handoffs, makespan, wall := e19Run(shards)
+		r := e19Run(shards)
 		identical := "yes"
 		if shards == 1 {
-			serialDigest, serialWall = digest, wall
-		} else if digest != serialDigest {
+			serialDigest, serialWall = r.Digest, r.Wall
+		} else if r.Digest != serialDigest {
 			identical = "NO"
 		}
 		t.AddRow(
 			fmt.Sprint(shards),
-			fmt.Sprint(events),
-			fmt.Sprint(cross),
-			fmt.Sprint(handoffs),
-			fmt.Sprintf("%.2f", 100*float64(cross)/float64(events)),
-			us(float64(makespan)/1e3),
+			fmt.Sprint(r.Events),
+			fmt.Sprint(r.Cross),
+			fmt.Sprint(r.Handoffs),
+			fmt.Sprintf("%.2f", 100*float64(r.Cross)/float64(r.Events)),
+			us(float64(r.Makespan)/1e3),
 			identical,
 		)
-		walls = append(walls, res{shards, wall, events})
+		runs = append(runs, r)
 	}
 	t.Note("identical = per-pair delivery digest byte-equal to shards=1; the CI shard sweep " +
 		"(vorx chaos -shardsweep) enforces the same identity under crash/gray fault schedules")
-	t.Note("conservative lookahead = HopFixed (1us): a shard advances to " +
-		"min(neighbor horizons, global floor + lookahead), both capped by in-flight mail")
+	t.Note("route-aware lookahead: the promise between two shards is HopFixed (1us) times the " +
+		"minimum cube distance between their clusters; a shard advances to " +
+		"min(neighbor horizons, global floor + column lookahead), both capped by in-flight mail")
 	var parts []string
-	for _, r := range walls {
-		evps := float64(r.events) / r.wall.Seconds()
+	for _, r := range runs {
+		evps := float64(r.Events) / r.Wall.Seconds()
 		parts = append(parts, fmt.Sprintf("shards=%d %.0fk ev/s (%.2fx)",
-			r.shards, evps/1e3, serialWall.Seconds()/r.wall.Seconds()))
+			r.Shards, evps/1e3, serialWall.Seconds()/r.Wall.Seconds()))
 	}
 	t.Note("wall clock (host-dependent, this run): %s", strings.Join(parts, ", "))
 	t.Note("speedup needs real cores: on a 1-CPU host the shard goroutines serialize and " +

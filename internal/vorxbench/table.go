@@ -104,6 +104,7 @@ func All() []*Table {
 		E17VChan(),
 		E18LatencyObservatory(),
 		E19ShardScaling(),
+		E20MultiCoreScaling(),
 	}
 }
 
@@ -121,7 +122,7 @@ func ByID(id string) *Table {
 		"F2": F2Scaling, "E12": E12FaultStorm, "E13": E13Supervision,
 		"E14": E14TracingOverhead, "E15": E15Pipelined, "E16": E16Partitions,
 		"E17": E17VChan, "E18": E18LatencyObservatory,
-		"E19": E19ShardScaling,
+		"E19": E19ShardScaling, "E20": E20MultiCoreScaling,
 	}
 	if g, ok := gens[strings.ToUpper(id)]; ok {
 		return g()
@@ -131,7 +132,7 @@ func ByID(id string) *Table {
 
 // IDs lists the experiment ids in paper order.
 func IDs() []string {
-	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+	return []string{"F1", "T1", "T2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "F2", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 }
 
 func us(f float64) string   { return fmt.Sprintf("%.0f", f) }

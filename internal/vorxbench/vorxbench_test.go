@@ -117,7 +117,7 @@ func TestByIDAndIDs(t *testing.T) {
 	if tb := ByID("t2"); tb == nil || tb.ID != "T2" {
 		t.Fatal("case-insensitive lookup failed")
 	}
-	if len(IDs()) != 28 {
+	if len(IDs()) != 29 {
 		t.Fatalf("ids = %v", IDs())
 	}
 }
